@@ -1,0 +1,38 @@
+# Convenience targets for the mwmerge reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/prap/ ./internal/merge/ .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One testing.B pass per table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure into out/.
+experiments:
+	$(GO) run ./cmd/spmvbench -exp all -o out
+
+# Short fuzz pass over the parser/codec targets.
+fuzz:
+	$(GO) test -fuzz=FuzzDeltaRoundTrip -fuzztime=10s ./internal/vldi/
+	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=10s ./internal/matrix/
+
+clean:
+	rm -rf out test_output.txt bench_output.txt

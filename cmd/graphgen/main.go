@@ -1,0 +1,90 @@
+// Command graphgen emits synthetic sparse graphs in MatrixMarket format:
+// Erdős–Rényi (the paper's Sy-* datasets), RMAT (Graph500 parameters) and
+// Zipf power-law graphs with High Degree Nodes.
+//
+// Usage:
+//
+//	graphgen -kind er -nodes 100000 -degree 3 > sy.mtx
+//	graphgen -kind rmat -scale 18 -degree 16 -o rmat.mtx
+//	graphgen -kind zipf -nodes 50000 -degree 20 -exponent 1.8 -o pl.mtx
+//	graphgen -dataset TW -nodes 100000 -o tw-scaled.mtx
+//	graphgen -kind er -nodes 1000000 -format bin -o big.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "er", "generator: er, rmat, zipf")
+		dataset  = flag.String("dataset", "", "instantiate a named paper dataset instead (e.g. TW)")
+		nodes    = flag.Uint64("nodes", 100000, "node count (or cap for -dataset)")
+		degree   = flag.Float64("degree", 3, "average degree")
+		scale    = flag.Uint("scale", 16, "RMAT scale (dimension 2^scale)")
+		exponent = flag.Float64("exponent", 1.8, "Zipf exponent")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "mm", "output format: mm (MatrixMarket), bin, or el (edge list)")
+	)
+	flag.Parse()
+
+	m, err := generate(*kind, *dataset, *nodes, *degree, *scale, *exponent, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "mm":
+		err = matrix.WriteMatrixMarket(w, m)
+	case "bin":
+		err = matrix.WriteBinary(w, m)
+	case "el":
+		err = matrix.WriteEdgeList(w, m)
+	default:
+		err = fmt.Errorf("unknown format %q (want mm, bin or el)", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: %dx%d, %d nonzeros, avg degree %.2f\n",
+		m.Rows, m.Cols, m.NNZ(), m.AvgDegree())
+}
+
+func generate(kind, dataset string, nodes uint64, degree float64, scale uint, exponent float64, seed int64) (*matrix.COO, error) {
+	if dataset != "" {
+		d, err := graph.Lookup(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Instantiate(nodes, seed)
+	}
+	switch kind {
+	case "er":
+		return graph.ErdosRenyi(nodes, degree, seed)
+	case "rmat":
+		return graph.RMAT(scale, degree, graph.Graph500Params(), seed)
+	case "zipf":
+		return graph.Zipf(nodes, degree, exponent, seed)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want er, rmat or zipf)", kind)
+	}
+}

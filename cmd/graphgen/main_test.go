@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+		n    uint64
+	}{
+		{"er", 1000}, {"rmat", 1024}, {"zipf", 1000},
+	}
+	for _, c := range cases {
+		m, err := generate(c.kind, "", c.n, 3, 10, 1.8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if m.NNZ() == 0 {
+			t.Errorf("%s: empty graph", c.kind)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	m, err := generate("", "FR", 2000, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2000 {
+		t.Errorf("dataset cap not applied: %d rows", m.Rows)
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := generate("mystery", "", 10, 3, 0, 0, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := generate("er", "no-such-dataset", 10, 3, 0, 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command spmvbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	spmvbench -list
+//	spmvbench -exp fig17
+//	spmvbench -exp all -scale 65536 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mwmerge/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		scale  = flag.Uint64("scale", 1<<17, "node cap for functional (materialized) runs")
+		seed   = flag.Int64("seed", 1, "random seed for synthetic workloads")
+		outDir = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := bench.Options{Scale: *scale, Seed: *seed}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+	}
+	run := func(e bench.Experiment) error {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		if err := e.Run(w, opt); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Registry() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "spmvbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := bench.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,172 @@
+// Command spmvrun executes Two-Step SpMV on a MatrixMarket file (or a
+// generated graph) through the functional accelerator model, validates the
+// result against a dense reference, and prints the off-chip traffic ledger
+// and execution statistics.
+//
+// Usage:
+//
+//	spmvrun -m graph.mtx
+//	spmvrun -gen er -nodes 100000 -degree 3 -vldi 8 -hdn 1000
+//	spmvrun -gen zipf -nodes 50000 -degree 20 -iters 5 -overlap
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/hdn"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+func main() {
+	var (
+		mtx        = flag.String("m", "", "MatrixMarket input file")
+		gen        = flag.String("gen", "", "generate instead: er, rmat, zipf")
+		nodes      = flag.Uint64("nodes", 100000, "generated node count")
+		degree     = flag.Float64("degree", 3, "generated average degree")
+		seed       = flag.Int64("seed", 1, "random seed")
+		scratchKiB = flag.Uint64("scratch", 256, "scratchpad KiB for the vector segment")
+		ways       = flag.Int("ways", 1024, "merge core ways K")
+		radix      = flag.Uint("q", 4, "PRaP radix bits (2^q merge cores)")
+		vldiBits   = flag.Int("vldi", 0, "VLDI block bits (0 = no compression)")
+		hdnThresh  = flag.Uint64("hdn", 0, "HDN degree threshold (0 = disabled)")
+		iters      = flag.Int("iters", 1, "SpMV iterations")
+		overlap    = flag.Bool("overlap", false, "iteration-overlapped Two-Step (ITS)")
+		workers    = flag.Int("workers", 1, "step-1 worker goroutines (host-side parallelism)")
+	)
+	flag.Parse()
+
+	m, err := loadMatrix(*mtx, *gen, *nodes, *degree, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Matrix: %dx%d, %d nonzeros, avg degree %.2f, hypersparse=%v\n",
+		m.Rows, m.Cols, m.NNZ(), m.AvgDegree(), m.Hypersparse())
+
+	cfg := core.Config{
+		ScratchpadBytes: *scratchKiB << 10,
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           8,
+		Merge:           prap.Config{Q: *radix, Ways: *ways, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16},
+		HBM:             mem.DefaultHBM(),
+		Workers:         *workers,
+	}
+	if *vldiBits > 0 {
+		codec, err := vldi.NewCodec(*vldiBits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvrun:", err)
+			os.Exit(1)
+		}
+		cfg.VectorCodec = codec
+		cfg.MatrixCodec = codec
+	}
+	if *hdnThresh > 0 {
+		h := hdn.DefaultConfig()
+		h.Threshold = *hdnThresh
+		cfg.HDN = &h
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvrun:", err)
+		os.Exit(1)
+	}
+
+	rng := rand.New(rand.NewSource(*seed + 1))
+	x := vector.NewDense(int(m.Cols))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	var result vector.Dense
+	if *iters > 1 {
+		if m.Rows != m.Cols {
+			fmt.Fprintln(os.Stderr, "spmvrun: iterative mode needs a square matrix")
+			os.Exit(1)
+		}
+		res, err := eng.Iterate(m, x, core.IterateOptions{Iterations: *iters, Overlap: *overlap})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvrun:", err)
+			os.Exit(1)
+		}
+		result = res.X
+		fmt.Printf("Ran %d iterations (overlap=%v), transition bytes saved: %d\n",
+			res.Iterations, *overlap, res.TransitionBytesSaved)
+		// Reference check over the same iteration count.
+		want := x.Clone()
+		for i := 0; i < *iters; i++ {
+			want, _ = core.ReferenceSpMV(m, want, nil)
+		}
+		fmt.Printf("Max |error| vs reference: %.3g\n", result.MaxAbsDiff(want))
+	} else {
+		y, err := eng.SpMV(m, x, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvrun:", err)
+			os.Exit(1)
+		}
+		result = y
+		want, _ := core.ReferenceSpMV(m, x, nil)
+		fmt.Printf("Max |error| vs reference: %.3g\n", result.MaxAbsDiff(want))
+	}
+
+	st := eng.Stats()
+	tr := eng.Traffic()
+	fmt.Printf("\nStripes: %d   Products: %d   Intermediate records: %d\n",
+		st.Stripes, st.Products, st.IntermediateRecords)
+	fmt.Printf("Merge cores: %d   Injected keys: %d   Load imbalance: %.3f\n",
+		cfg.Merge.Cores(), st.MergeStats.Injected, st.MergeStats.LoadImbalance())
+	if cfg.VectorCodec != nil && st.UncompressedVecBytes > 0 {
+		fmt.Printf("VLDI: vector meta %.1f%% of raw, matrix meta %.1f%% of raw\n",
+			100*float64(st.CompressedVecBytes)/float64(st.UncompressedVecBytes),
+			100*float64(st.CompressedMatBytes)/float64(st.UncompressedMatBytes))
+	}
+	if cfg.HDN != nil {
+		fmt.Printf("HDN pipeline: %d records (%d false-routed), filter %d bytes\n",
+			st.HDN.HDNRecords, st.HDN.FalseRouted, st.HDNFilterBytes)
+	}
+	fmt.Printf("\nOff-chip traffic: %s\n", tr)
+	fmt.Printf("  payload %s, wastage %s\n", mem.FormatBytes(tr.Payload()), mem.FormatBytes(tr.WastageBytes))
+}
+
+func loadMatrix(path, gen string, nodes uint64, degree float64, seed int64) (*matrix.COO, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		br := bufio.NewReaderSize(f, 1<<20)
+		head, err := br.Peek(16)
+		if err == nil && len(head) >= 8 && string(head[:8]) == "MWMCOO1\n" {
+			return matrix.ReadBinary(br)
+		}
+		if err == nil && len(head) >= 2 && string(head[:2]) == "%%" {
+			return matrix.ReadMatrixMarket(br)
+		}
+		// Fall back to a SNAP-style edge list.
+		return matrix.ReadEdgeList(br, 0)
+	case gen == "er":
+		return graph.ErdosRenyi(nodes, degree, seed)
+	case gen == "rmat":
+		scale := uint(0)
+		for (uint64(1) << (scale + 1)) <= nodes {
+			scale++
+		}
+		return graph.RMAT(scale, degree, graph.Graph500Params(), seed)
+	case gen == "zipf":
+		return graph.Zipf(nodes, degree, 1.8, seed)
+	default:
+		return nil, fmt.Errorf("provide -m FILE or -gen {er,rmat,zipf}")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+)
+
+func TestLoadMatrixGenerators(t *testing.T) {
+	for _, gen := range []string{"er", "rmat", "zipf"} {
+		m, err := loadMatrix("", gen, 1000, 3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if m.NNZ() == 0 {
+			t.Errorf("%s: empty graph", gen)
+		}
+	}
+	if _, err := loadMatrix("", "", 10, 3, 1); err == nil {
+		t.Error("no source specified but accepted")
+	}
+}
+
+func TestLoadMatrixSniffsFormats(t *testing.T) {
+	dir := t.TempDir()
+	m, err := graph.ErdosRenyi(500, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mmPath := filepath.Join(dir, "g.mtx")
+	fm, err := os.Create(mmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.WriteMatrixMarket(fm, m); err != nil {
+		t.Fatal(err)
+	}
+	fm.Close()
+
+	elPath := filepath.Join(dir, "g.el")
+	fe, err := os.Create(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.WriteEdgeList(fe, m); err != nil {
+		t.Fatal(err)
+	}
+	fe.Close()
+
+	binPath := filepath.Join(dir, "g.bin")
+	fb, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.WriteBinary(fb, m); err != nil {
+		t.Fatal(err)
+	}
+	fb.Close()
+
+	for _, p := range []string{mmPath, binPath, elPath} {
+		got, err := loadMatrix(p, "", 0, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got.NNZ() != m.NNZ() {
+			t.Errorf("%s: nnz %d != %d", p, got.NNZ(), m.NNZ())
+		}
+	}
+	if _, err := loadMatrix(filepath.Join(dir, "missing"), "", 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

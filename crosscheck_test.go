@@ -1,0 +1,56 @@
+package mwmerge
+
+// Cross-checks between the functional engine and the analytic model that
+// only make sense at the whole-repo level.
+
+import (
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/perfmodel"
+	"mwmerge/internal/prap"
+)
+
+// TestSlicedPassCountsAgree confirms the engine's measured multi-pass
+// count matches the analytic model's prediction for the same geometry.
+func TestSlicedPassCountsAgree(t *testing.T) {
+	// Engine: 64-element segments, 4-way merge → model with the same
+	// geometry.
+	cfg := core.Config{
+		ScratchpadBytes: 512, ValueBytes: 8, MetaBytes: 8, Lanes: 4,
+		Merge: prap.Config{Q: 1, Ways: 4, FIFODepth: 4, DPage: 256, RecordBytes: 16},
+		HBM:   mem.DefaultHBM(),
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []uint64{200, 800, 3000} {
+		a, err := graph.ErdosRenyi(n, 3, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := NewDense(int(n))
+		x.Fill(1)
+		_, passes, err := eng.SpMVSliced(a, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Model with the engine's exact geometry: same ways and the
+		// same 64-element segment width.
+		d := perfmodel.ASICDesign(perfmodel.TS)
+		d.Ways = cfg.Merge.Ways
+		d.ValueBytes = 8
+		d.VectorBufBytes = cfg.ScratchpadBytes
+		r, err := d.EvaluateSliced(perfmodel.GraphStats{Nodes: n, Edges: uint64(a.NNZ())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Passes != passes {
+			t.Errorf("n=%d: engine used %d passes, model predicts %d", n, passes, r.Passes)
+		}
+	}
+}

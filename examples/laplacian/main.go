@@ -1,0 +1,66 @@
+// Scientific-computing workload: solve a graph-Laplacian linear system
+// L·x = b with conjugate gradients, every matrix-vector product running
+// on the Two-Step accelerator model. This is the "numerous scientific
+// applications" half of the paper's motivation (§1) — SpMV as the inner
+// kernel of an iterative solver rather than a graph-analytics pass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mwmerge"
+)
+
+func main() {
+	// A mesh-like sparse graph and its SPD Laplacian (+ ridge).
+	g, err := mwmerge.ErdosRenyi(50_000, 4, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := mwmerge.SPDLaplacian(g, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("System: %dx%d Laplacian, %d nonzeros\n", l.Rows, l.Cols, l.NNZ())
+
+	eng, err := mwmerge.NewEngine(mwmerge.DefaultEngineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	b := mwmerge.NewDense(int(l.Rows))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	res, err := mwmerge.CG(eng, l, b, 1e-10, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG converged=%v in %d iterations, relative residual %.2e\n",
+		res.Converged, res.Iterations, res.Residual)
+
+	// Verify against the dense reference.
+	ax, err := mwmerge.ReferenceSpMV(l, res.X, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := range b {
+		d := ax[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("Max |L·x - b| = %.2e\n", worst)
+
+	tr := eng.Traffic()
+	fmt.Printf("\nAccelerator traffic across the whole solve: %v\n", tr)
+	fmt.Printf("(%d SpMV calls, all streaming, zero cache-line wastage)\n", res.Iterations)
+}

@@ -1,0 +1,86 @@
+// External multi-way merge sort built from the accelerator's merge
+// machinery — the paper's conclusion notes that merge-sort and sparse
+// accumulation are fundamental beyond SpMV and that "this architecture
+// can be explored to be utilized beyond SpMV". This example sorts a large
+// keyset as the hardware would: sorted runs live in (simulated) DRAM, a
+// page-grain prefetch buffer guarantees streaming access, and a
+// cycle-modeled K-way Merge Core produces the globally sorted output.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"mwmerge/internal/merge"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/types"
+)
+
+func main() {
+	const (
+		runs      = 64      // K sorted runs, one merge-core way each
+		runLength = 50_000  // records per run
+		dpage     = 2 << 10 // DRAM page size
+	)
+	rng := rand.New(rand.NewSource(3))
+
+	// Phase 1 (the "step 1" analogue): generate sorted runs.
+	lists := make([][]types.Record, runs)
+	for i := range lists {
+		keys := make([]uint64, runLength)
+		for j := range keys {
+			keys[j] = rng.Uint64() >> 16
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		recs := make([]types.Record, runLength)
+		for j, k := range keys {
+			recs[j] = types.Record{Key: k, Val: float64(i)}
+		}
+		lists[i] = recs
+	}
+	total := runs * runLength
+	fmt.Printf("Merging %d sorted runs x %d records = %d total\n", runs, runLength, total)
+
+	// Phase 2: page-grain prefetch + K-way merge core (q=0: a single
+	// residue class, i.e. plain multi-way merge).
+	buf, err := prap.NewPrefetchBuffer(lists, dpage, types.RecordBytes, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := make([]merge.Source, runs)
+	for i := range sources {
+		sources[i] = buf.SlotSource(i, 0).(merge.Source)
+	}
+	core, err := merge.NewCore(merge.CoreConfig{
+		Ways: runs, FIFODepth: 8, RecordBytes: types.RecordBytes, FillPerCycle: 32,
+	}, sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var out []types.Record
+	st, err := core.Run(func(r types.Record) { out = append(out, r) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validate: globally sorted, nothing lost.
+	if len(out) != total {
+		log.Fatalf("merged %d of %d records", len(out), total)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key > out[i].Key {
+			log.Fatalf("output out of order at %d", i)
+		}
+	}
+	fmt.Println("Output verified: globally sorted, no records lost.")
+
+	fetch := buf.Stats()
+	fmt.Printf("\nMerge core: %d cycles for %d records (%.3f cycles/record), tree depth %d\n",
+		st.Cycles, st.Emitted, st.CyclesPerRecord(), core.Depth())
+	fmt.Printf("Prefetch buffer: %d KiB on-chip, %d page fetches, %.1f MiB streamed\n",
+		buf.BufferBytes()>>10, fetch.PageFetches, float64(fetch.BytesRead)/(1<<20))
+	fmt.Printf("Every DRAM access was a full %d-byte page: 100%% streaming.\n", dpage)
+}

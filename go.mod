@@ -1,0 +1,3 @@
+module mwmerge
+
+go 1.22

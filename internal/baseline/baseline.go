@@ -1,0 +1,148 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation: a functional latency-bound SpMV that drives its x/y accesses
+// through a set-associative cache simulator (measuring the cache-line
+// wastage of Fig. 4 on real data), and the published performance series of
+// the prior custom-hardware and GPU solutions the figures compare against.
+package baseline
+
+import (
+	"fmt"
+
+	"mwmerge/internal/cache"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/vector"
+)
+
+// LatencyBoundResult reports a cache-simulated conventional SpMV run.
+type LatencyBoundResult struct {
+	Y          vector.Dense
+	CacheStats cache.Stats
+	Traffic    mem.Traffic
+}
+
+// LatencyBoundSpMV computes y = A·x + yIn the conventional way — stream
+// the CSR matrix, gather x[col] per nonzero, accumulate into y — with all
+// x and y accesses going through the cache model. This is the
+// "latency bound" algorithm of Fig. 4: algorithmically minimal accesses,
+// but random gathers waste most of every fetched line once the working
+// set exceeds the cache.
+func LatencyBoundSpMV(a *matrix.CSR, x, yIn vector.Dense, c *cache.Cache, valBytes, metaBytes int) (LatencyBoundResult, error) {
+	var res LatencyBoundResult
+	if uint64(len(x)) != a.Cols {
+		return res, fmt.Errorf("baseline: x dimension %d != %d", len(x), a.Cols)
+	}
+	if yIn != nil && uint64(len(yIn)) != a.Rows {
+		return res, fmt.Errorf("baseline: y dimension %d != %d", len(yIn), a.Rows)
+	}
+	y := vector.NewDense(int(a.Rows))
+	if yIn != nil {
+		copy(y, yIn)
+	}
+
+	// Address map: x at 0, y after x (both at valBytes granularity).
+	xBase := uint64(0)
+	yBase := a.Cols * uint64(valBytes)
+
+	for r := uint64(0); r < a.Rows; r++ {
+		cols, vals := a.Row(r)
+		if len(cols) == 0 {
+			continue
+		}
+		acc := 0.0
+		for i, col := range cols {
+			c.Access(xBase+col*uint64(valBytes), uint64(valBytes))
+			acc += vals[i] * x[col]
+		}
+		c.Write(yBase+r*uint64(valBytes), uint64(valBytes))
+		y[r] += acc
+	}
+	c.FlushDirty()
+	res.Y = y
+	res.CacheStats = c.Stats()
+	res.Traffic = mem.Traffic{
+		// Matrix meta+values stream once (never cached usefully).
+		MatrixBytes: uint64(a.NNZ()) * uint64(metaBytes+valBytes),
+		// Vector fill traffic is line-granular: misses × line size,
+		// split into useful bytes and wastage.
+		SourceVectorBytes: res.CacheStats.BytesRead - c.WastageBytes(),
+		// Dirty-line writebacks of y at line granularity.
+		ResultBytes:  c.Stats().BytesWritten,
+		WastageBytes: c.WastageBytes(),
+	}
+	return res, nil
+}
+
+// PublishedPoint is one benchmark value digitized from the paper's
+// figures. Values are approximate (read off bar charts) and exist so the
+// reproduction figures can show the same comparison series the paper
+// does; they are inputs, not measurements of this code.
+type PublishedPoint struct {
+	Benchmark string
+	GraphID   string
+	GTEPS     float64
+	NJPerEdge float64 // zero when the paper reports no energy
+}
+
+// CustomHardware holds the Fig. 17/18 benchmark series: Graphicionado
+// (BM1_ASIC, 28nm, 64 MB eDRAM), the edge-centric FPGA framework
+// (BM1_FPGA) and the PageRank-optimized FPGA (BM2_FPGA).
+var CustomHardware = []PublishedPoint{
+	{Benchmark: "BM1_ASIC", GraphID: "FR", GTEPS: 1.9},
+	{Benchmark: "BM1_ASIC", GraphID: "FB", GTEPS: 2.1},
+	{Benchmark: "BM1_ASIC", GraphID: "Wiki", GTEPS: 2.3},
+	{Benchmark: "BM1_ASIC", GraphID: "RMAT", GTEPS: 2.5},
+	{Benchmark: "BM1_FPGA", GraphID: "LJ", GTEPS: 0.9},
+	{Benchmark: "BM1_FPGA", GraphID: "WK", GTEPS: 0.6},
+	{Benchmark: "BM1_FPGA", GraphID: "TW", GTEPS: 1.0},
+	{Benchmark: "BM2_FPGA", GraphID: "web-ND", GTEPS: 0.35},
+	{Benchmark: "BM2_FPGA", GraphID: "web-Go", GTEPS: 0.4},
+	{Benchmark: "BM2_FPGA", GraphID: "web-Be", GTEPS: 0.45},
+	{Benchmark: "BM2_FPGA", GraphID: "web-Ta", GTEPS: 0.3},
+}
+
+// GPUBenchmark holds the Fig. 19/20 series: the 8-node Tesla M2050
+// PageRank cluster of Rungsawang & Manaskasemsak.
+var GPUBenchmark = []PublishedPoint{
+	{Benchmark: "BM1_GPU", GraphID: "ara-05", GTEPS: 0.30, NJPerEdge: 9000},
+	{Benchmark: "BM1_GPU", GraphID: "it-04", GTEPS: 0.32, NJPerEdge: 8500},
+	{Benchmark: "BM1_GPU", GraphID: "sk-05", GTEPS: 0.35, NJPerEdge: 8000},
+}
+
+// PublishedFor returns the published points for a graph ID.
+func PublishedFor(graphID string) []PublishedPoint {
+	var out []PublishedPoint
+	for _, series := range [][]PublishedPoint{CustomHardware, GPUBenchmark} {
+		for _, p := range series {
+			if p.GraphID == graphID {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// TrafficTwoStepExact computes the exact Two-Step traffic ledger for a
+// materialized matrix at the given segment width and record widths — the
+// functional cross-check of the analytic TwoStepTraffic model.
+func TrafficTwoStepExact(a *matrix.COO, segWidth uint64, valBytes, metaBytes int) (mem.Traffic, error) {
+	stripes, err := matrix.Partition1D(a, segWidth)
+	if err != nil {
+		return mem.Traffic{}, err
+	}
+	var t mem.Traffic
+	for _, s := range stripes {
+		t.SourceVectorBytes += s.Width * uint64(valBytes)
+		t.MatrixBytes += uint64(s.NNZ()) * uint64(metaBytes+valBytes)
+		// Distinct rows touched = intermediate records of this stripe.
+		rows := make(map[uint64]struct{}, s.NNZ())
+		for _, e := range s.Entries {
+			rows[e.Row] = struct{}{}
+		}
+		rec := uint64(len(rows)) * uint64(metaBytes+valBytes)
+		t.IntermediateWrite += rec
+		t.IntermediateRead += rec
+	}
+	t.ResultBytes = a.Rows * uint64(valBytes)
+	return t, nil
+}

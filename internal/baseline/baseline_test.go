@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"testing"
+
+	"mwmerge/internal/cache"
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+func randomX(n uint64) vector.Dense {
+	x := vector.NewDense(int(n))
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	return x
+}
+
+func TestLatencyBoundMatchesReference(t *testing.T) {
+	a, err := graph.ErdosRenyi(2000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := matrix.ToCSR(a)
+	x := randomX(2000)
+	y := randomX(2000)
+	c, _ := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8})
+	res, err := LatencyBoundSpMV(csr, x, y, c, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ReferenceSpMV(a, x, y)
+	if d := res.Y.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("latency-bound result max diff %g", d)
+	}
+	if res.CacheStats.Accesses == 0 {
+		t.Error("no cache accesses recorded")
+	}
+}
+
+func TestLatencyBoundWastageGrowsWithProblemSize(t *testing.T) {
+	// Small working set: x fits in cache, little wastage. Large working
+	// set: gathers miss and waste most of every line (the Fig. 4
+	// argument).
+	mkRun := func(n uint64) (waste, payload uint64) {
+		a, err := graph.ErdosRenyi(n, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := cache.New(cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+		res, err := LatencyBoundSpMV(matrix.ToCSR(a), randomX(n), nil, c, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Traffic.WastageBytes, res.Traffic.Payload()
+	}
+	wSmall, pSmall := mkRun(500)    // x = 4 KB, fits
+	wLarge, pLarge := mkRun(100000) // x = 800 KB, far exceeds 32 KB
+	ratioSmall := float64(wSmall) / float64(pSmall)
+	ratioLarge := float64(wLarge) / float64(pLarge)
+	if ratioLarge < 2*ratioSmall {
+		t.Errorf("wastage ratio small=%.3f large=%.3f; expected growth", ratioSmall, ratioLarge)
+	}
+}
+
+func TestLatencyBoundDimChecks(t *testing.T) {
+	a := graph.Diagonal(5, 1)
+	csr := matrix.ToCSR(a)
+	c, _ := cache.New(cache.Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	if _, err := LatencyBoundSpMV(csr, vector.NewDense(3), nil, c, 8, 8); err == nil {
+		t.Error("bad x accepted")
+	}
+	if _, err := LatencyBoundSpMV(csr, vector.NewDense(5), vector.NewDense(2), c, 8, 8); err == nil {
+		t.Error("bad y accepted")
+	}
+}
+
+func TestTwoStepTrafficBeatsLatencyBoundWhenSparse(t *testing.T) {
+	// The central claim of Fig. 4: for large, highly sparse problems,
+	// Two-Step's total traffic (with its intermediate round trip) is
+	// below the latency-bound algorithm's traffic including wastage.
+	n := uint64(200000)
+	a, err := graph.ErdosRenyi(n, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := TrafficTwoStepExact(a, 4096, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8})
+	lb, err := LatencyBoundSpMV(matrix.ToCSR(a), randomX(n), nil, c, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Total() >= lb.Traffic.Total() {
+		t.Errorf("Two-Step traffic %d not below latency-bound %d", ts.Total(), lb.Traffic.Total())
+	}
+	// But Two-Step carries MORE payload (the intermediate round trip) —
+	// the trade-off the paper highlights.
+	if ts.Payload() <= lb.Traffic.Payload() {
+		t.Errorf("Two-Step payload %d should exceed latency-bound payload %d",
+			ts.Payload(), lb.Traffic.Payload())
+	}
+}
+
+func TestTrafficTwoStepExactSymmetry(t *testing.T) {
+	a, _ := graph.ErdosRenyi(5000, 3, 4)
+	tr, err := TrafficTwoStepExact(a, 1024, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IntermediateWrite != tr.IntermediateRead {
+		t.Error("intermediate round trip asymmetric")
+	}
+	if tr.WastageBytes != 0 {
+		t.Error("Two-Step must have zero wastage")
+	}
+	if tr.SourceVectorBytes != 5000*4 {
+		t.Errorf("x traffic %d", tr.SourceVectorBytes)
+	}
+}
+
+func TestPublishedSeries(t *testing.T) {
+	if len(CustomHardware) != 11 {
+		t.Errorf("custom hardware series has %d points", len(CustomHardware))
+	}
+	if len(GPUBenchmark) != 3 {
+		t.Errorf("GPU series has %d points", len(GPUBenchmark))
+	}
+	for _, p := range append(append([]PublishedPoint{}, CustomHardware...), GPUBenchmark...) {
+		if p.GTEPS <= 0 || p.GTEPS > 5 {
+			t.Errorf("%s/%s: implausible published GTEPS %g", p.Benchmark, p.GraphID, p.GTEPS)
+		}
+		if _, err := graph.Lookup(p.GraphID); err != nil {
+			t.Errorf("published point references unknown graph %s", p.GraphID)
+		}
+	}
+	if got := PublishedFor("FR"); len(got) != 1 || got[0].Benchmark != "BM1_ASIC" {
+		t.Errorf("PublishedFor(FR) = %v", got)
+	}
+	if got := PublishedFor("no-such"); got != nil {
+		t.Errorf("PublishedFor(unknown) = %v", got)
+	}
+}

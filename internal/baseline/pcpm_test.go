@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+func TestPartitionCentricMatchesReference(t *testing.T) {
+	a, err := graph.ErdosRenyi(3000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(3000)
+	y := randomX(3000)
+	res, err := PartitionCentricSpMV(matrix.ToCSR(a), x, y, 4096, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ReferenceSpMV(a, x, y)
+	if d := res.Y.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("PCPM result diff %g", d)
+	}
+	if res.Partitions < 2 {
+		t.Errorf("expected multiple partitions, got %d", res.Partitions)
+	}
+	if res.BinRecords != uint64(a.NNZ()) {
+		t.Errorf("binned %d records, want one per nonzero %d", res.BinRecords, a.NNZ())
+	}
+}
+
+func TestPartitionCentricValidation(t *testing.T) {
+	a := matrix.ToCSR(graph.Diagonal(4, 1))
+	if _, err := PartitionCentricSpMV(a, vector.NewDense(2), nil, 1024, 8, 8); err == nil {
+		t.Error("bad x accepted")
+	}
+	if _, err := PartitionCentricSpMV(a, vector.NewDense(4), vector.NewDense(2), 1024, 8, 8); err == nil {
+		t.Error("bad y accepted")
+	}
+	if _, err := PartitionCentricSpMV(a, vector.NewDense(4), nil, 0, 8, 8); err == nil {
+		t.Error("zero partition budget accepted")
+	}
+}
+
+func TestTwoStepBinTrafficBeatsPCPM(t *testing.T) {
+	// Two-Step's adder chain collapses same-row products within a
+	// stripe before the DRAM round trip; PCPM bins every product. On a
+	// graph whose stripes see repeated rows, Two-Step's round trip must
+	// be strictly smaller.
+	a, err := graph.Zipf(20000, 10, 1.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, pcpm, err := CompareBinTraffic(a, 2048, 64<<10, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts >= pcpm {
+		t.Errorf("Two-Step round trip %d not below PCPM %d", ts, pcpm)
+	}
+}
+
+func TestPCPMTrafficLedger(t *testing.T) {
+	a, _ := graph.ErdosRenyi(2000, 3, 3)
+	res, err := PartitionCentricSpMV(matrix.ToCSR(a), randomX(2000), nil, 4096, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Traffic
+	if tr.IntermediateWrite != tr.IntermediateRead {
+		t.Error("bin round trip asymmetric")
+	}
+	if tr.IntermediateWrite != uint64(a.NNZ())*16 {
+		t.Errorf("bin write %d, want %d", tr.IntermediateWrite, a.NNZ()*16)
+	}
+	if tr.WastageBytes != 0 {
+		t.Error("PCPM schedule should not incur line wastage")
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func smallOptions() Options { return Options{Scale: 1 << 13, Seed: 1} }
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{
+		"fig4", "fig13", "fig14",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+	}
+	have := map[string]bool{}
+	for _, e := range Registry() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("fig17")
+	if err != nil || e.ID != "fig17" {
+		t.Fatalf("Lookup(fig17) = %v, %v", e, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	opt := smallOptions()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, opt); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestFig4ShapeHolds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig4(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "Cache line wastage") {
+		t.Errorf("fig4 output missing rows:\n%s", out)
+	}
+}
+
+func TestFig13OptimaOrdering(t *testing.T) {
+	// The 5MB (narrow stripes) optimum must exceed the 35MB optimum —
+	// the paper's 8-bit vs 4-bit result.
+	var buf bytes.Buffer
+	if err := RunFig13(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var blocks []int
+	for _, line := range strings.Split(out, "\n") {
+		var b, s int
+		var bits float64
+		if n, _ := fmtSscanf(line, "Optimal VLDI block = %d bits, string = %d bits (expected %f bits/delta)", &b, &s, &bits); n == 3 {
+			blocks = append(blocks, b)
+		}
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("found %d optima in output:\n%s", len(blocks), out)
+	}
+	if blocks[0] <= blocks[1] {
+		t.Errorf("5MB optimum %d not above 35MB optimum %d", blocks[0], blocks[1])
+	}
+}
+
+func TestTable2OutputContainsAllPoints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable2(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"TS_ASIC", "ITS_ASIC", "ITS_VC_ASIC", "TS_FPGA1", "ITS_FPGA1", "TS_FPGA2", "ITS_FPGA2"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("table 2 missing %s", id)
+		}
+	}
+}
+
+func TestFig17ShowsImprovement(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig17(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Improvement over published benchmarks") {
+		t.Errorf("fig17 missing improvement summary:\n%s", buf.String())
+	}
+}
+
+func TestFig21CapacityDashes(t *testing.T) {
+	// Billion-node Sy graphs must show '-' for the COTS platforms but
+	// values for the ASIC (the paper's central capacity story).
+	var buf bytes.Buffer
+	if err := RunFig21(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Sy-1B") {
+			found = true
+			if !strings.Contains(line, "-") {
+				t.Errorf("Sy-1B row should dash out COTS: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Error("Sy-1B row missing from fig21")
+	}
+}
+
+func TestFunctionalValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFunctional(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FR") || !strings.Contains(out, "Sy-1B") {
+		t.Errorf("functional output incomplete:\n%s", out)
+	}
+}
+
+// fmtSscanf adapts fmt.Sscanf for the loop above.
+func fmtSscanf(s, format string, args ...interface{}) (int, error) {
+	return fmt.Sscanf(s, format, args...)
+}

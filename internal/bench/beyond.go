@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mwmerge/internal/perfmodel"
+)
+
+// RunCapacityBeyond sweeps the problem dimension past the single-pass
+// capacity bound, showing the multi-pass merge degradation curve — what
+// "slicing and partitioning larger graphs" costs, quantified for our own
+// design instead of handwaved for prior work.
+func RunCapacityBeyond(w io.Writer, opt Options) error {
+	d := perfmodel.ASICDesign(perfmodel.TS)
+	fmt.Fprintf(w, "TS_ASIC single-pass capacity: %.1fB nodes (K=%d x %.1fM segment)\n\n",
+		float64(d.MaxNodes())/1e9, d.Ways, float64(d.SegmentWidth())/1e6)
+	t := newTable("Nodes (B)", "Avg degree", "Extra passes", "GTEPS", "Intermediate traffic (GB)")
+	for _, nodesB := range []float64{1, 4, 8, 16, 32, 64} {
+		g := perfmodel.GraphStats{Nodes: uint64(nodesB * 1e9), Edges: uint64(nodesB * 3e9)}
+		r, err := d.EvaluateSliced(g)
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprintf("%.0f", nodesB),
+			"3.0",
+			fmt.Sprintf("%d", r.Passes),
+			fmt.Sprintf("%.1f", r.GTEPS),
+			fmt.Sprintf("%.0f", float64(r.Traffic.IntermediateWrite+r.Traffic.IntermediateRead)/1e9))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nBeyond 4.3B nodes each extra merge pass adds an intermediate round trip; performance")
+	fmt.Fprintln(w, "degrades gradually instead of hitting a wall — or double the vector buffer (§6) and")
+	fmt.Fprintln(w, "push the single-pass bound out instead.")
+	return nil
+}

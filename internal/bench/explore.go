@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mwmerge/internal/perfmodel"
+)
+
+// RunDesignSpace sweeps (merge cores, tree ways, step-1 lanes) under the
+// fabricated chip's 7.5 mm² / 11 MiB budget on the billion-node deg-3
+// workload, showing where the published configuration sits in its own
+// design space.
+func RunDesignSpace(w io.Writer, opt Options) error {
+	workload := perfmodel.GraphStats{Nodes: 1e9, Edges: 3e9}
+	cands, err := perfmodel.Explore(workload, perfmodel.ASICBudget(), perfmodel.Area16nm())
+	if err != nil {
+		return err
+	}
+	feasible, infeasible := 0, 0
+	for _, c := range cands {
+		if c.Feasible {
+			feasible++
+		} else {
+			infeasible++
+		}
+	}
+	fmt.Fprintf(w, "Workload: 1B nodes, 3B edges. Budget: 7.5 mm2 core, 11 MiB on-chip, >=1B-node capacity.\n")
+	fmt.Fprintf(w, "Swept %d configurations: %d feasible, %d rejected.\n\n", len(cands), feasible, infeasible)
+
+	t := newTable("Rank", "Config (p-K-P)", "GTEPS", "Area (mm2)", "On-chip (MiB)", "Max nodes (B)")
+	shown := 0
+	for _, c := range cands {
+		if !c.Feasible || shown >= 8 {
+			break
+		}
+		shown++
+		t.add(fmt.Sprintf("%d", shown),
+			c.Point.ID,
+			fmt.Sprintf("%.1f", c.GTEPS),
+			fmt.Sprintf("%.2f", c.AreaMM2),
+			fmt.Sprintf("%.1f", float64(c.OnChip)/float64(1<<20)),
+			fmt.Sprintf("%.1f", float64(c.MaxNodes)/1e9))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	for _, c := range cands {
+		if c.Point.MergeCores == 16 && c.Point.Ways == 2048 && c.Point.Lanes == 64 {
+			status := "infeasible: " + c.Reason
+			if c.Feasible {
+				status = fmt.Sprintf("feasible at %.1f GTEPS", c.GTEPS)
+			}
+			fmt.Fprintf(w, "\nThe fabricated configuration (16 cores, 2048 ways, 64 lanes) is %s.\n", status)
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTable2Golden pins the exact Table 2 output — the one experiment
+// whose numbers must never drift, because they are the paper's published
+// design points reproduced by the calibrated models.
+func TestTable2Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable2(&buf, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := []string{
+		"TS_ASIC       4295.0         4000.0  432               432",
+		"ITS_ASIC      2147.5         2000.0  729               729",
+		"ITS_VC_ASIC   2147.5         2000.0  656               656",
+		"TS_FPGA1      134.2          134.2   96                96",
+		"ITS_FPGA1     67.1           67.1    178               178",
+		"TS_FPGA2      67.1           67.1    190               190",
+		"ITS_FPGA2     33.6           33.6    357               357",
+		"Single 2048-way MC at 1.4 GHz: 28 GB/s (paper: 28 GB/s)",
+	}
+	for _, line := range want {
+		if !strings.Contains(got, line) {
+			t.Errorf("table 2 drifted; missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+// TestFig4Golden pins the headline traffic numbers of Fig. 4.
+func TestFig4Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig4(&buf, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, line := range []string{
+		"TOTAL                234.49         115.77",
+		"Cache line wastage   178.58         0.00",
+	} {
+		if !strings.Contains(got, line) {
+			t.Errorf("fig4 drifted; missing %q in:\n%s", line, got)
+		}
+	}
+}

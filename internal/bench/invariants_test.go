@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// These tests pin the headline invariants of the newer experiments —
+// not exact numbers, but the shapes the paper's claims rest on.
+
+func TestFig2ReportsFabricatedSpecs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig2(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"7.5 mm2", "3.11 W", "1.4 GHz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInterfaceSweepSaturates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunInterfaceSweep(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The width-1 row must sustain ~1 record/cycle and the wide rows
+	// must appear.
+	if !strings.Contains(out, "1.00") {
+		t.Errorf("starved row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Refills denied") {
+		t.Errorf("denial column missing:\n%s", out)
+	}
+}
+
+func TestDesignSpaceIncludesFabricatedConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunDesignSpace(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "16 cores, 2048 ways, 64 lanes") {
+		t.Errorf("fabricated configuration not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "feasible at") {
+		t.Errorf("fabricated configuration not feasible:\n%s", out)
+	}
+}
+
+func TestAblationITSShowsSpeedupAndGantt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAblationITS(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "ITS step2 fabric") {
+		t.Errorf("ITS ablation incomplete:\n%s", out)
+	}
+	// Every speedup cell must exceed 1x.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "x ") && strings.Contains(line, "0.") && strings.HasPrefix(line, "0") {
+			t.Errorf("suspicious speedup line: %q", line)
+		}
+	}
+}
+
+func TestRowBufferExperimentShowsAsymmetry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunRowBuffer(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x gathers") || !strings.Contains(out, "row hits") {
+		t.Errorf("row-buffer experiment incomplete:\n%s", out)
+	}
+}
+
+func TestMCScalingReportsQ4For512(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMCScaling(&buf, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 3 && f[0] == "512" {
+			found = true
+			if f[1] != "16" || f[2] != "4" {
+				t.Errorf("512 GB/s row: %q (want 16 MCs, q=4)", line)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("512 GB/s row missing:\n%s", out)
+	}
+}
+
+func TestHostBaselineRuns(t *testing.T) {
+	var buf bytes.Buffer
+	opt := smallOptions()
+	opt.Scale = 1 << 12 // keep the measurement fast in CI
+	if err := RunHostBaseline(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Host GTEPS") {
+		t.Errorf("host baseline incomplete:\n%s", buf.String())
+	}
+}

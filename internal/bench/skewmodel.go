@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/perfmodel"
+)
+
+// RunSkewModel contrasts the uniform intermediate-records estimate (used
+// by the headline figures, exact for the paper's Erdős–Rényi Sy-*
+// workloads) against the degree-distribution-aware estimate on the
+// power-law datasets, and validates both against an exact count on a
+// scaled instance. Hub rows collapse many products into few intermediate
+// records, so the skew-aware model predicts less round-trip traffic for
+// social graphs.
+func RunSkewModel(w io.Writer, opt Options) error {
+	d := perfmodel.ASICDesign(perfmodel.TS)
+	seg := d.SegmentWidth()
+
+	t := newTable("Dataset", "Kind", "Uniform est (M rec)", "Skew-aware (M rec)", "Reduction")
+	for _, id := range []string{"Sy-60M", "TW", "ara-05", "wb-edu", "road_central"} {
+		ds, err := graph.Lookup(id)
+		if err != nil {
+			return err
+		}
+		g := perfmodel.GraphStats{Nodes: ds.Nodes(), Edges: ds.Edges()}
+		uniform := g.IntermediateRecords(seg)
+		hist := graph.SyntheticDegreeHist(ds, 1<<14)
+		skew := g.IntermediateRecordsFromDegrees(seg, hist)
+		red := "-"
+		if uniform > 0 {
+			red = fmt.Sprintf("%.1f%%", 100*(1-float64(skew)/float64(uniform)))
+		}
+		t.add(id, ds.Kind.String(),
+			fmt.Sprintf("%.1f", float64(uniform)/1e6),
+			fmt.Sprintf("%.1f", float64(skew)/1e6),
+			red)
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+
+	// Exact validation on a scaled Zipf instance.
+	scale := opt.Scale
+	if scale > 1<<15 {
+		scale = 1 << 15
+	}
+	ds, _ := graph.Lookup("TW")
+	m, err := ds.Instantiate(scale, opt.Seed)
+	if err != nil {
+		return err
+	}
+	segSmall := uint64(scale / 8)
+	var exact uint64
+	{
+		stripes, err := stripeLists(m, segSmall)
+		if err != nil {
+			return err
+		}
+		for _, l := range stripes {
+			exact += uint64(len(l))
+		}
+	}
+	gSmall := perfmodel.GraphStats{Nodes: m.Rows, Edges: uint64(m.NNZ())}
+	hist := make([]uint64, 1<<14)
+	for _, deg := range m.RowDegrees() {
+		if deg >= uint64(len(hist)) {
+			deg = uint64(len(hist)) - 1
+		}
+		hist[deg]++
+	}
+	uni := gSmall.IntermediateRecords(segSmall)
+	skew := gSmall.IntermediateRecordsFromDegrees(segSmall, hist)
+	fmt.Fprintf(w, "\nScaled TW instance (%d nodes): exact %d records, skew-aware %d (%.1f%% err), uniform %d (%.1f%% err)\n",
+		m.Rows, exact,
+		skew, 100*relErr(skew, exact),
+		uni, 100*relErr(uni, exact))
+	fmt.Fprintln(w, "The skew-aware estimate tracks hubs that collapse into single records per stripe.")
+	fmt.Fprintln(w, "NOTE: the power-law rows use the construction-Zipf histogram of our stand-ins, which is")
+	fmt.Fprintln(w, "more concentrated than the real datasets; the headline figures keep the conservative")
+	fmt.Fprintln(w, "uniform estimate, which is exact for the paper's own Erdős–Rényi Sy-* workloads.")
+	return nil
+}
+
+func relErr(est, exact uint64) float64 {
+	if exact == 0 {
+		return 0
+	}
+	d := float64(est) - float64(exact)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(exact)
+}

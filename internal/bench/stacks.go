@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mwmerge/internal/perfmodel"
+)
+
+// RunStackScaling sweeps the number of HBM stacks (the paper's §3: "this
+// state of the art 3D stacked memories can provide extreme bandwidth (in
+// the order of TB with multiple stacks)"): each stack adds 256 GB/s, the
+// merge network scales its core count per the mc-scaling rule, and the
+// modeled GTEPS on a billion-node graph follows the bandwidth almost
+// linearly — the scalability headroom PRaP buys.
+func RunStackScaling(w io.Writer, opt Options) error {
+	g := perfmodel.GraphStats{Nodes: 1e9, Edges: 3e9}
+	t := newTable("HBM stacks", "Stream BW (GB/s)", "Merge cores p", "Sustained (GB/s)", "GTEPS (TS)", "Prefetch (MiB)")
+	base := perfmodel.ASICDesign(perfmodel.TS)
+	single := base.SingleMCThroughput()
+	for _, stacks := range []int{1, 2, 4, 8} {
+		d := perfmodel.ASICDesign(perfmodel.TS)
+		bw := 256e9 * float64(stacks)
+		d.HBM.StreamBandwidth = bw
+		d.HBM.Channels = 4 * stacks
+		// Size the merge network to the sustained fraction.
+		p := 1
+		for float64(p)*single*d.MergeEff < bw*0.84 {
+			p <<= 1
+		}
+		d.MergeCores = p
+		r, err := d.Evaluate(g)
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprintf("%d", stacks),
+			fmt.Sprintf("%.0f", bw/1e9),
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.0f", d.SustainedThroughput()/1e9),
+			fmt.Sprintf("%.1f", r.GTEPS),
+			fmt.Sprintf("%.1f", float64(d.OnChip().PrefetchBytes)/float64(1<<20)))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nGTEPS tracks bandwidth while the prefetch buffer stays flat: PRaP parallelism is")
+	fmt.Fprintln(w, "free of on-chip memory cost, so multi-stack systems scale by adding merge cores only.")
+	return nil
+}

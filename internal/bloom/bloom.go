@@ -1,0 +1,179 @@
+// Package bloom implements the Bloom filters the accelerator uses to
+// detect High Degree Nodes in power-law graphs (paper §5.3): the classic
+// g-hash filter and the one-memory-access (blocked) variant of Qiao et al.
+// that the ASIC implements, where all g probe bits fall inside a single
+// SRAM word so membership costs one memory access. Hashing is a simple
+// XOR/multiply mix, standing in for the paper's XOR-based hardware hashes.
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// mix implements a 64-bit finalizer (xor-shift multiply), the software
+// analog of a hardware XOR hash tree. Distinct seeds derive independent
+// hash functions from one key.
+func mix(key, seed uint64) uint64 {
+	x := key ^ (seed * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Classic is a standard Bloom filter: m bits probed by g independent
+// hashes.
+type Classic struct {
+	bits []uint64
+	m    uint64
+	g    int
+	n    uint64 // inserted members
+}
+
+// NewClassic builds a filter of m bits with g hash functions.
+func NewClassic(m uint64, g int) (*Classic, error) {
+	if m == 0 || g < 1 || g > 16 {
+		return nil, fmt.Errorf("bloom: invalid parameters m=%d g=%d", m, g)
+	}
+	return &Classic{bits: make([]uint64, (m+63)/64), m: m, g: g}, nil
+}
+
+// Add records key as a member.
+func (b *Classic) Add(key uint64) {
+	for i := 0; i < b.g; i++ {
+		pos := mix(key, uint64(i)+1) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.n++
+}
+
+// Contains reports (possible) membership: false negatives never occur.
+func (b *Classic) Contains(key uint64) bool {
+	for i := 0; i < b.g; i++ {
+		pos := mix(key, uint64(i)+1) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the number of inserted keys.
+func (b *Classic) Members() uint64 { return b.n }
+
+// SizeBytes returns the filter's storage footprint.
+func (b *Classic) SizeBytes() uint64 { return uint64(len(b.bits)) * 8 }
+
+// FPR returns the classic false-positive estimate
+// (1 - (1 - 1/m)^(g·n))^g — the paper's Eq. 1.
+func (b *Classic) FPR() float64 { return ClassicFPR(b.m, b.n, b.g) }
+
+// ClassicFPR evaluates Eq. 1 for m bits, n members and g hashes.
+func ClassicFPR(m, n uint64, g int) float64 {
+	if m == 0 {
+		return 1
+	}
+	exp := float64(g) * float64(n)
+	pZero := math.Exp(exp * math.Log1p(-1/float64(m)))
+	return math.Pow(1-pZero, float64(g))
+}
+
+// OneMem is the one-memory-access Bloom filter: the key first selects one
+// of d SRAM words of w bits, then g in-word hashes select bits within that
+// word. Membership needs log2(d) + g·log2(w) hash bits and a single SRAM
+// read (paper §5.3.1: d=16384, w=64 needs only 32 hash bits).
+type OneMem struct {
+	words []uint64
+	d     uint64 // word count (power of two)
+	w     uint   // word width in bits (power of two, <= 64)
+	g     int
+	n     uint64
+}
+
+// NewOneMem builds a one-memory-access filter with d words of w bits and g
+// in-word probes.
+func NewOneMem(d uint64, w uint, g int) (*OneMem, error) {
+	if d == 0 || d&(d-1) != 0 {
+		return nil, fmt.Errorf("bloom: word count %d not a power of two", d)
+	}
+	if w == 0 || w > 64 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("bloom: word width %d not a power of two <= 64", w)
+	}
+	if g < 1 || g > 8 {
+		return nil, fmt.Errorf("bloom: hash count %d out of range", g)
+	}
+	return &OneMem{words: make([]uint64, d), d: d, w: w, g: g}, nil
+}
+
+// HashBits returns the total hash bits consumed per probe:
+// log2(d) + g·log2(w).
+func (b *OneMem) HashBits() int {
+	return log2u(b.d) + b.g*log2u(uint64(b.w))
+}
+
+func log2u(v uint64) int {
+	l := 0
+	for v > 1 {
+		l++
+		v >>= 1
+	}
+	return l
+}
+
+// Add records key as a member.
+func (b *OneMem) Add(key uint64) {
+	h := mix(key, 0x5eed)
+	word := h % b.d
+	h >>= log2u(b.d)
+	for i := 0; i < b.g; i++ {
+		bit := (h >> uint(i*log2u(uint64(b.w)))) % uint64(b.w)
+		b.words[word] |= 1 << bit
+	}
+	b.n++
+}
+
+// Contains reports (possible) membership with a single word read.
+func (b *OneMem) Contains(key uint64) bool {
+	h := mix(key, 0x5eed)
+	word := b.words[h%b.d]
+	h >>= log2u(b.d)
+	for i := 0; i < b.g; i++ {
+		bit := (h >> uint(i*log2u(uint64(b.w)))) % uint64(b.w)
+		if word&(1<<bit) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the number of inserted keys.
+func (b *OneMem) Members() uint64 { return b.n }
+
+// SizeBytes returns the storage footprint.
+func (b *OneMem) SizeBytes() uint64 { return b.d * uint64(b.w) / 8 }
+
+// FPR estimates the false-positive ratio of the blocked filter: with n
+// members over d words, a word holds on average g·n/d set-bit draws over w
+// positions, so a non-member matches with probability ≈ (s/w)^g where
+// s = w·(1 - (1 - 1/w)^(g·n/d)) is the expected set-bit count.
+func (b *OneMem) FPR() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	perWord := float64(b.g) * float64(b.n) / float64(b.d)
+	w := float64(b.w)
+	setFrac := 1 - math.Exp(perWord*math.Log1p(-1/w))
+	return math.Pow(setFrac, float64(b.g))
+}
+
+// SizeForLoadFactor returns the bit count m = n/loadFactor the paper's
+// §5.3.1 sizing rule uses (load factor 0.1 for ~2% FPR at g=4).
+func SizeForLoadFactor(n uint64, loadFactor float64) uint64 {
+	if loadFactor <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(float64(n) / loadFactor))
+}

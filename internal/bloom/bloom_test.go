@@ -1,0 +1,183 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClassicNoFalseNegatives(t *testing.T) {
+	b, err := NewClassic(1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		b.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !b.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	if b.Members() != 2000 {
+		t.Errorf("Members = %d", b.Members())
+	}
+}
+
+func TestClassicFPRMatchesAnalytic(t *testing.T) {
+	m := uint64(1 << 16)
+	n := uint64(6554) // load factor 0.1
+	g := 4
+	b, _ := NewClassic(m, g)
+	rng := rand.New(rand.NewSource(2))
+	members := map[uint64]bool{}
+	for uint64(len(members)) < n {
+		k := rng.Uint64() % (1 << 40)
+		if !members[k] {
+			members[k] = true
+			b.Add(k)
+		}
+	}
+	var fp, trials uint64
+	for i := 0; i < 200000; i++ {
+		k := (rng.Uint64() % (1 << 40)) | (1 << 50) // disjoint key space
+		trials++
+		if b.Contains(k) {
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(trials)
+	analytic := b.FPR()
+	if math.Abs(measured-analytic) > 0.01 {
+		t.Errorf("measured FPR %g vs analytic %g", measured, analytic)
+	}
+	// Paper's sizing rule: load factor 0.1 with g=4 gives ~2% FPR.
+	if analytic > 0.03 {
+		t.Errorf("FPR %g too high for load factor 0.1", analytic)
+	}
+}
+
+func TestClassicRejectsBadParams(t *testing.T) {
+	if _, err := NewClassic(0, 4); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := NewClassic(100, 0); err == nil {
+		t.Error("zero hashes accepted")
+	}
+	if _, err := NewClassic(100, 17); err == nil {
+		t.Error("17 hashes accepted")
+	}
+}
+
+func TestOneMemNoFalseNegatives(t *testing.T) {
+	b, err := NewOneMem(16384, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		b.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !b.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestOneMemHashBits(t *testing.T) {
+	// Paper §5.3.1: d=16384, w=64, 3 in-word hashes →
+	// 14 + 3·6 = 32 hash bits.
+	b, _ := NewOneMem(16384, 64, 3)
+	if got := b.HashBits(); got != 32 {
+		t.Errorf("HashBits = %d, want 32", got)
+	}
+	// Size: 16384 × 64 bits = 128 KiB.
+	if got := b.SizeBytes(); got != 128<<10 {
+		t.Errorf("SizeBytes = %d, want 128KiB", got)
+	}
+}
+
+func TestOneMemFPRReasonable(t *testing.T) {
+	b, _ := NewOneMem(16384, 64, 4)
+	rng := rand.New(rand.NewSource(4))
+	n := 100000 // load factor ~0.1 of the 1Mbit array
+	members := map[uint64]bool{}
+	for len(members) < n {
+		k := rng.Uint64() % (1 << 40)
+		if !members[k] {
+			members[k] = true
+			b.Add(k)
+		}
+	}
+	var fp, trials uint64
+	for i := 0; i < 100000; i++ {
+		k := (rng.Uint64() % (1 << 40)) | (1 << 50)
+		trials++
+		if b.Contains(k) {
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(trials)
+	analytic := b.FPR()
+	// The blocked filter is slightly worse than classic; the paper
+	// budgets ~2%, allow up to 6% and agreement within 2x.
+	if measured > 0.06 {
+		t.Errorf("measured FPR %g too high", measured)
+	}
+	if measured > 0 && (analytic > 2.5*measured || measured > 2.5*analytic+0.005) {
+		t.Errorf("analytic %g vs measured %g disagree", analytic, measured)
+	}
+}
+
+func TestOneMemRejectsBadParams(t *testing.T) {
+	if _, err := NewOneMem(1000, 64, 4); err == nil {
+		t.Error("non-power-of-two word count accepted")
+	}
+	if _, err := NewOneMem(1024, 65, 4); err == nil {
+		t.Error("word width 65 accepted")
+	}
+	if _, err := NewOneMem(1024, 48, 4); err == nil {
+		t.Error("non-power-of-two word width accepted")
+	}
+	if _, err := NewOneMem(1024, 64, 0); err == nil {
+		t.Error("zero hashes accepted")
+	}
+}
+
+func TestSizeForLoadFactor(t *testing.T) {
+	// Paper: q=1e5 members at load factor 0.1 → 1 Mbit = 128 KiB.
+	bits := SizeForLoadFactor(100000, 0.1)
+	if bits != 1000000 {
+		t.Errorf("bits = %d, want 1000000", bits)
+	}
+	if SizeForLoadFactor(10, 0) != 0 {
+		t.Error("zero load factor should yield 0")
+	}
+}
+
+func TestClassicFPREdgeCases(t *testing.T) {
+	if ClassicFPR(0, 10, 4) != 1 {
+		t.Error("zero-bit filter must have FPR 1")
+	}
+	if got := ClassicFPR(1000, 0, 4); got != 0 {
+		t.Errorf("empty filter FPR = %g", got)
+	}
+}
+
+func TestMixDeterministicAndSpread(t *testing.T) {
+	if mix(42, 1) != mix(42, 1) {
+		t.Error("mix not deterministic")
+	}
+	if mix(42, 1) == mix(42, 2) {
+		t.Error("seeds do not separate hashes")
+	}
+	if mix(42, 1) == mix(43, 1) {
+		t.Error("adjacent keys collide")
+	}
+}

@@ -1,0 +1,249 @@
+// Package cache implements a set-associative LRU cache simulator. The
+// latency-bound SpMV baseline runs its x/y accesses through this model to
+// measure exactly what the paper's Fig. 4 charges the cache-based approach
+// with: cache-line wastage (bytes fetched but never used) and random-access
+// DRAM traffic.
+package cache
+
+import (
+	"fmt"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is total capacity.
+	SizeBytes uint64
+	// LineBytes is the block size (power of two).
+	LineBytes uint64
+	// Ways is the associativity; 0 means fully associative.
+	Ways int
+}
+
+// DefaultLLC returns a 30 MiB 16-way LLC with 64-byte lines, matching the
+// paper's Xeon E5/Xeon Phi comparison platforms.
+func DefaultLLC() Config {
+	return Config{SizeBytes: 30 << 20, LineBytes: 64, Ways: 16}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes == 0 || c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	ways := uint64(c.Ways)
+	if c.Ways == 0 {
+		ways = lines
+	}
+	if ways == 0 || lines%ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, ways)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+	BytesRead uint64 // line-granular DRAM fill traffic
+	BytesUsed uint64 // bytes actually touched by the program
+	// Writebacks counts dirty lines written back to DRAM on eviction;
+	// BytesWritten is the corresponding line-granular traffic.
+	Writebacks   uint64
+	BytesWritten uint64
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Wastage returns fetched-but-unused bytes: fill traffic minus an upper
+// bound on useful bytes per filled line. It is computed by the owner via
+// line-usage tracking; see Cache.WastageBytes.
+type set struct {
+	tags  []uint64 // tag per way, ordered most- to least-recently used
+	used  []uint64 // bitmask of touched granules per way (8-byte granules)
+	dirty []bool   // write-allocate, write-back dirtiness per way
+}
+
+// Cache is a set-associative LRU cache with per-line usage tracking at
+// 8-byte granularity so wastage can be measured exactly.
+type Cache struct {
+	cfg     Config
+	sets    []set
+	setMask uint64
+	shift   uint
+	stats   Stats
+	ways    int
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = int(lines)
+	}
+	nsets := lines / uint64(ways)
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", nsets)
+	}
+	shift := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	c := &Cache{cfg: cfg, sets: make([]set, nsets), setMask: nsets - 1, shift: shift, ways: ways}
+	return c, nil
+}
+
+// Access reads size bytes at addr, returning true on hit (all lines
+// resident). Multi-line accesses are split.
+func (c *Cache) Access(addr, size uint64) bool {
+	return c.access(addr, size, false)
+}
+
+// Write stores size bytes at addr with write-allocate, write-back
+// semantics: misses fill the line, and the line is marked dirty so its
+// eviction costs a DRAM writeback.
+func (c *Cache) Write(addr, size uint64) bool {
+	return c.access(addr, size, true)
+}
+
+func (c *Cache) access(addr, size uint64, write bool) bool {
+	if size == 0 {
+		size = 1
+	}
+	first := addr >> c.shift
+	last := (addr + size - 1) >> c.shift
+	hit := true
+	for line := first; line <= last; line++ {
+		lo := addr
+		if line<<c.shift > lo {
+			lo = line << c.shift
+		}
+		hi := addr + size
+		if (line+1)<<c.shift < hi {
+			hi = (line + 1) << c.shift
+		}
+		if !c.accessLine(line, lo-(line<<c.shift), hi-lo, write) {
+			hit = false
+		}
+	}
+	return hit
+}
+
+// accessLine touches [off, off+n) within the given line address.
+func (c *Cache) accessLine(lineAddr, off, n uint64, write bool) bool {
+	c.stats.Accesses++
+	c.stats.BytesUsed += n
+	s := &c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	mask := granuleMask(off, n)
+	for i, t := range s.tags {
+		if t == tag {
+			// Move to MRU position.
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag
+			u := s.used[i]
+			copy(s.used[1:i+1], s.used[:i])
+			s.used[0] = u | mask
+			d := s.dirty[i]
+			copy(s.dirty[1:i+1], s.dirty[:i])
+			s.dirty[0] = d || write
+			return true
+		}
+	}
+	// Miss: fill, evicting LRU if full (writing back when dirty).
+	c.stats.Misses++
+	c.stats.BytesRead += c.cfg.LineBytes
+	if len(s.tags) >= c.ways {
+		if s.dirty[c.ways-1] {
+			c.stats.Writebacks++
+			c.stats.BytesWritten += c.cfg.LineBytes
+		}
+		s.tags = s.tags[:c.ways-1]
+		s.used = s.used[:c.ways-1]
+		s.dirty = s.dirty[:c.ways-1]
+		c.stats.Evictions++
+	}
+	s.tags = append([]uint64{tag}, s.tags...)
+	s.used = append([]uint64{mask}, s.used...)
+	s.dirty = append([]bool{write}, s.dirty...)
+	return false
+}
+
+// FlushDirty writes back every resident dirty line (end-of-run drain) and
+// returns the bytes written.
+func (c *Cache) FlushDirty() uint64 {
+	var bytes uint64
+	for i := range c.sets {
+		s := &c.sets[i]
+		for w := range s.dirty {
+			if s.dirty[w] {
+				s.dirty[w] = false
+				c.stats.Writebacks++
+				c.stats.BytesWritten += c.cfg.LineBytes
+				bytes += c.cfg.LineBytes
+			}
+		}
+	}
+	return bytes
+}
+
+// granuleMask returns the 8-byte-granule bitmask covered by [off, off+n).
+func granuleMask(off, n uint64) uint64 {
+	lo := off / 8
+	hi := (off + n - 1) / 8
+	var m uint64
+	for g := lo; g <= hi && g < 64; g++ {
+		m |= 1 << g
+	}
+	return m
+}
+
+// Stats returns the access statistics so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// WastageBytes estimates fetched-but-unused bytes: for every fill, the
+// line's untouched granules at its current state. Resident lines are
+// scanned; evicted lines are approximated by assuming the same usage ratio
+// as resident ones applied to all fills.
+func (c *Cache) WastageBytes() uint64 {
+	granules := c.cfg.LineBytes / 8
+	var usedGranules, residentLines uint64
+	for _, s := range c.sets {
+		for _, u := range s.used {
+			usedGranules += uint64(popcount(u))
+			residentLines++
+		}
+	}
+	if residentLines == 0 {
+		return 0
+	}
+	usedPerLine := float64(usedGranules) / float64(residentLines)
+	wastePerLine := float64(granules) - usedPerLine
+	if wastePerLine < 0 {
+		wastePerLine = 0
+	}
+	return uint64(wastePerLine * 8 * float64(c.stats.Misses))
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small() Config {
+	return Config{SizeBytes: 4096, LineBytes: 64, Ways: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultLLC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 100, LineBytes: 64, Ways: 2},  // size not multiple
+		{SizeBytes: 4096, LineBytes: 60, Ways: 2}, // line not pow2
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 4096, LineBytes: 64, Ways: 3}, // lines % ways != 0
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c, err := New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(100, 8) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(100, 8) {
+		t.Error("warm access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.BytesRead != 64 {
+		t.Errorf("fill traffic %d, want one line", st.BytesRead)
+	}
+}
+
+func TestSpatialLocalityWithinLine(t *testing.T) {
+	c, _ := New(small())
+	c.Access(0, 8)
+	if !c.Access(56, 8) {
+		t.Error("same-line access missed")
+	}
+}
+
+func TestMultiLineAccess(t *testing.T) {
+	c, _ := New(small())
+	// 16 bytes straddling a line boundary touch two lines.
+	c.Access(60, 16)
+	st := c.Stats()
+	if st.Misses != 2 {
+		t.Errorf("straddling access caused %d misses, want 2", st.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-way sets; touch 5 lines mapping to the same set, then re-touch
+	// the first: it must have been evicted.
+	cfg := small() // 4096/64 = 64 lines, 4 ways → 16 sets
+	c, _ := New(cfg)
+	setStride := uint64(16 * 64) // same set every 1024 bytes
+	for i := uint64(0); i < 5; i++ {
+		c.Access(i*setStride, 8)
+	}
+	if c.Access(0, 8) {
+		t.Error("LRU line not evicted")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestLRURecency(t *testing.T) {
+	cfg := small()
+	c, _ := New(cfg)
+	setStride := uint64(16 * 64)
+	// Fill 4 ways, re-touch line 0 (making line 1 LRU), add line 4.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, 8)
+	}
+	c.Access(0, 8)
+	c.Access(4*setStride, 8)
+	if !c.Access(0, 8) {
+		t.Error("recently used line evicted")
+	}
+	if c.Access(1*setStride, 8) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestStreamingHasNoReuseMisses(t *testing.T) {
+	c, _ := New(small())
+	// Sequential 8-byte reads: one miss per 64-byte line.
+	for addr := uint64(0); addr < 8192; addr += 8 {
+		c.Access(addr, 8)
+	}
+	st := c.Stats()
+	if st.Misses != 8192/64 {
+		t.Errorf("streaming misses %d, want %d", st.Misses, 8192/64)
+	}
+	// Fully used lines: negligible wastage.
+	if w := c.WastageBytes(); w > st.BytesRead/10 {
+		t.Errorf("streaming wastage %d of %d read", w, st.BytesRead)
+	}
+}
+
+func TestRandomSparseAccessWastesLines(t *testing.T) {
+	// Random 4-byte gathers over a space much larger than the cache:
+	// almost every access misses and ~60/64 of each line is wasted.
+	c, _ := New(small())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		c.Access(uint64(rng.Intn(1<<24))&^3, 4)
+	}
+	st := c.Stats()
+	if st.MissRate() < 0.95 {
+		t.Errorf("miss rate %g, want ~1", st.MissRate())
+	}
+	w := c.WastageBytes()
+	if float64(w) < 0.8*float64(st.BytesRead) {
+		t.Errorf("wastage %d of %d read; sparse gathers should waste most of each line", w, st.BytesRead)
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c, err := New(Config{SizeBytes: 512, LineBytes: 64, Ways: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 lines capacity; touch 8 distinct lines then re-touch all: hits.
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i*64, 8)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !c.Access(i*64, 8) {
+			t.Errorf("line %d evicted from fully associative cache", i)
+		}
+	}
+}
+
+func TestZeroSizeAccessTreatedAsByte(t *testing.T) {
+	c, _ := New(small())
+	c.Access(0, 0)
+	if c.Stats().Accesses != 1 {
+		t.Error("zero-size access not counted")
+	}
+}
+
+func TestWriteBackSemantics(t *testing.T) {
+	c, _ := New(small())
+	// Dirty a line, thrash its set, expect one writeback.
+	c.Write(0, 8)
+	setStride := uint64(16 * 64)
+	for i := uint64(1); i <= 4; i++ {
+		c.Access(i*setStride, 8)
+	}
+	st := c.Stats()
+	if st.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", st.Writebacks)
+	}
+	if st.BytesWritten != 64 {
+		t.Errorf("BytesWritten = %d", st.BytesWritten)
+	}
+	// Reads alone never write back.
+	c2, _ := New(small())
+	for i := uint64(0); i <= 8; i++ {
+		c2.Access(i*setStride, 8)
+	}
+	if c2.Stats().Writebacks != 0 {
+		t.Error("read-only workload produced writebacks")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c, _ := New(small())
+	c.Write(0, 8)
+	c.Write(64, 8)
+	c.Access(128, 8)
+	if got := c.FlushDirty(); got != 128 {
+		t.Errorf("FlushDirty = %d, want 128", got)
+	}
+	// Idempotent.
+	if got := c.FlushDirty(); got != 0 {
+		t.Errorf("second FlushDirty = %d", got)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c, _ := New(small())
+	c.Access(0, 8) // clean fill
+	c.Write(0, 8)  // hit, now dirty
+	if got := c.FlushDirty(); got != 64 {
+		t.Errorf("write-hit line not dirty: flushed %d", got)
+	}
+}

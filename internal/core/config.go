@@ -1,0 +1,99 @@
+// Package core implements the Two-Step SpMV engine (paper §2-§5): 1D
+// column-blocked step-1 partial SpMV with P parallel multiply/accumulate
+// lanes, step-2 PRaP multi-way merge into the dense result, optional VLDI
+// meta-data compression, optional Bloom-filter HDN routing, and
+// iteration-overlapped execution (ITS). The engine is functional —
+// it computes real results validated against a dense reference — while
+// simultaneously keeping the off-chip traffic ledger the paper's
+// evaluation is built on.
+package core
+
+import (
+	"fmt"
+
+	"mwmerge/internal/hdn"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vldi"
+)
+
+// Config parameterizes a Two-Step engine.
+type Config struct {
+	// ScratchpadBytes is the on-chip buffer for one source-vector
+	// segment (8 MiB on the ASIC). It dictates the stripe width:
+	// width = ScratchpadBytes / ValueBytes.
+	ScratchpadBytes uint64
+	// ValueBytes is the stored precision of vector elements (4 on the
+	// ASIC: single precision).
+	ValueBytes int
+	// MetaBytes is the uncompressed index width for traffic accounting.
+	MetaBytes int
+	// Lanes is P, the number of parallel multiplier + adder-chain lanes
+	// in step 1.
+	Lanes int
+	// Merge configures the step-2 PRaP network.
+	Merge prap.Config
+	// HBM is the main-memory model used for traffic/time accounting.
+	HBM mem.HBMConfig
+	// VectorCodec, when non-nil, VLDI-compresses the intermediate
+	// vectors' meta-data on their DRAM round trip (ITS_VC).
+	VectorCodec *vldi.Codec
+	// MatrixCodec, when non-nil, VLDI-compresses the matrix stripes'
+	// column indices.
+	MatrixCodec *vldi.Codec
+	// HDN, when non-nil, enables the Bloom-filter High Degree Node
+	// routing of §5.3.
+	HDN *hdn.Config
+	// Workers bounds the goroutines running step 1 over independent
+	// stripes in parallel (the host-side analogue of the hardware's
+	// parallel fabric). 0 or 1 runs sequentially; results and traffic
+	// accounting are identical either way.
+	Workers int
+}
+
+// DefaultConfig returns the TS_ASIC design point: 8 MiB scratchpad,
+// single-precision values, 16×2048-way PRaP network.
+func DefaultConfig() Config {
+	return Config{
+		ScratchpadBytes: 8 << 20,
+		ValueBytes:      types.ValBytes32,
+		MetaBytes:       types.KeyBytes,
+		Lanes:           8,
+		Merge:           prap.DefaultConfig(),
+		HBM:             mem.DefaultHBM(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ScratchpadBytes == 0 {
+		return fmt.Errorf("core: scratchpad size must be positive")
+	}
+	if c.ValueBytes != 1 && c.ValueBytes != 2 && c.ValueBytes != 4 && c.ValueBytes != 8 && c.ValueBytes != 16 {
+		return fmt.Errorf("core: value precision %d bytes unsupported", c.ValueBytes)
+	}
+	if c.MetaBytes < 1 || c.MetaBytes > 8 {
+		return fmt.Errorf("core: meta width %d bytes out of range", c.MetaBytes)
+	}
+	if c.Lanes < 1 {
+		return fmt.Errorf("core: lane count must be positive")
+	}
+	if err := c.Merge.Validate(); err != nil {
+		return err
+	}
+	return c.HBM.Validate()
+}
+
+// SegmentWidth returns the source-vector segment width in elements
+// (ScratchpadBytes / ValueBytes). With iteration overlap the caller
+// halves ScratchpadBytes first.
+func (c Config) SegmentWidth() uint64 {
+	return c.ScratchpadBytes / uint64(c.ValueBytes)
+}
+
+// MaxDimension returns the largest matrix dimension the engine accepts:
+// Ways × SegmentWidth, the capacity model behind the paper's Table 1/2.
+func (c Config) MaxDimension() uint64 {
+	return uint64(c.Merge.Ways) * c.SegmentWidth()
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/hdn"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+// testConfig returns a small engine: 1 KiB scratchpad (128-element
+// segments at 8-byte values), 4 MCs of 64 ways.
+func testConfig() Config {
+	return Config{
+		ScratchpadBytes: 1024,
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           4,
+		Merge:           prap.Config{Q: 2, Ways: 64, FIFODepth: 4, DPage: 256, RecordBytes: 16},
+		HBM:             testHBM(),
+	}
+}
+
+func testHBM() mem.HBMConfig { return mem.DefaultHBM() }
+
+func randomX(n uint64, seed int64) vector.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := vector.NewDense(int(n))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := testConfig()
+	c.ScratchpadBytes = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero scratchpad accepted")
+	}
+	c = testConfig()
+	c.ValueBytes = 3
+	if err := c.Validate(); err == nil {
+		t.Error("3-byte precision accepted")
+	}
+	c = testConfig()
+	c.Lanes = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	c = testConfig()
+	c.MetaBytes = 9
+	if err := c.Validate(); err == nil {
+		t.Error("9-byte meta accepted")
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	c := testConfig()
+	if c.SegmentWidth() != 128 {
+		t.Errorf("SegmentWidth = %d", c.SegmentWidth())
+	}
+	if c.MaxDimension() != 64*128 {
+		t.Errorf("MaxDimension = %d", c.MaxDimension())
+	}
+}
+
+func TestSpMVMatchesReferenceDiagonal(t *testing.T) {
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graph.Diagonal(300, 2)
+	x := randomX(300, 1)
+	got, err := e.SpMV(a, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceSpMV(a, x, nil)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("diagonal SpMV max diff %g", d)
+	}
+}
+
+func TestSpMVMatchesReferenceER(t *testing.T) {
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deg := range []float64{0.5, 3, 10} {
+		a, err := graph.ErdosRenyi(1000, deg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomX(1000, 2)
+		got, err := e.SpMV(a, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := referenceSpMV(a, x, nil)
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("deg %g: max diff %g", deg, d)
+		}
+	}
+}
+
+func TestSpMVWithYIn(t *testing.T) {
+	e, _ := New(testConfig())
+	a, _ := graph.ErdosRenyi(500, 4, 3)
+	x := randomX(500, 4)
+	y := randomX(500, 5)
+	got, err := e.SpMV(a, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceSpMV(a, x, y)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("y=Ax+y max diff %g", d)
+	}
+}
+
+func TestSpMVRectangular(t *testing.T) {
+	e, _ := New(testConfig())
+	// 400 rows x 600 cols.
+	rng := rand.New(rand.NewSource(6))
+	var es []matrix.Entry
+	for i := 0; i < 2000; i++ {
+		es = append(es, matrix.Entry{Row: rng.Uint64() % 400, Col: rng.Uint64() % 600, Val: rng.NormFloat64()})
+	}
+	a, err := matrix.NewCOO(400, 600, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(600, 7)
+	got, err := e.SpMV(a, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceSpMV(a, x, nil)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("rectangular max diff %g", d)
+	}
+}
+
+func TestSpMVDimensionChecks(t *testing.T) {
+	e, _ := New(testConfig())
+	a := graph.Diagonal(10, 1)
+	if _, err := e.SpMV(a, vector.NewDense(5), nil); err == nil {
+		t.Error("bad x dimension accepted")
+	}
+	if _, err := e.SpMV(a, vector.NewDense(10), vector.NewDense(3)); err == nil {
+		t.Error("bad y dimension accepted")
+	}
+	// Exceed capacity: 64 ways x 128 width = 8192.
+	big := graph.Diagonal(9000, 1)
+	if _, err := e.SpMV(big, vector.NewDense(9000), nil); err == nil {
+		t.Error("oversized matrix accepted")
+	}
+}
+
+func TestSpMVWithVLDI(t *testing.T) {
+	cfg := testConfig()
+	codec, _ := vldi.NewCodec(6)
+	cfg.VectorCodec = codec
+	cfg.MatrixCodec = codec
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := graph.ErdosRenyi(2000, 3, 11)
+	x := randomX(2000, 12)
+	got, err := e.SpMV(a, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceSpMV(a, x, nil)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("VLDI engine max diff %g", d)
+	}
+	st := e.Stats()
+	if st.CompressedVecBytes >= st.UncompressedVecBytes {
+		t.Errorf("VLDI did not compress vectors: %d >= %d", st.CompressedVecBytes, st.UncompressedVecBytes)
+	}
+	if st.CompressedMatBytes >= st.UncompressedMatBytes {
+		t.Errorf("VLDI did not compress matrix meta: %d >= %d", st.CompressedMatBytes, st.UncompressedMatBytes)
+	}
+}
+
+func TestSpMVWithHDN(t *testing.T) {
+	cfg := testConfig()
+	h := hdn.DefaultConfig()
+	h.Threshold = 50
+	cfg.HDN = &h
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := graph.Zipf(3000, 8, 1.8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(3000, 14)
+	got, err := e.SpMV(a, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceSpMV(a, x, nil)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("HDN engine max diff %g", d)
+	}
+	st := e.Stats()
+	if st.HDN.HDNRecords == 0 {
+		t.Error("no records routed to HDN pipeline on a Zipf graph")
+	}
+	if st.HDNFilterBytes == 0 {
+		t.Error("filter size not recorded")
+	}
+}
+
+func TestTrafficLedgerPopulated(t *testing.T) {
+	e, _ := New(testConfig())
+	a, _ := graph.ErdosRenyi(1000, 3, 15)
+	x := randomX(1000, 16)
+	if _, err := e.SpMV(a, x, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Traffic()
+	if tr.MatrixBytes == 0 || tr.SourceVectorBytes == 0 ||
+		tr.IntermediateWrite == 0 || tr.IntermediateRead == 0 || tr.ResultBytes == 0 {
+		t.Errorf("traffic ledger incomplete: %+v", tr)
+	}
+	// Intermediate write and read must be symmetric (round trip).
+	if tr.IntermediateWrite != tr.IntermediateRead {
+		t.Errorf("asymmetric intermediate round trip: %d vs %d", tr.IntermediateWrite, tr.IntermediateRead)
+	}
+	// Two-Step never does cache-line random access: zero wastage.
+	if tr.WastageBytes != 0 {
+		t.Errorf("Two-Step incurred wastage %d", tr.WastageBytes)
+	}
+	// x streamed exactly once: N x valueBytes.
+	if tr.SourceVectorBytes != 1000*8 {
+		t.Errorf("x traffic %d, want %d", tr.SourceVectorBytes, 1000*8)
+	}
+	e.ResetCounters()
+	if e.Traffic().Total() != 0 {
+		t.Error("ResetCounters did not clear ledger")
+	}
+}
+
+func TestStep1LanesEquivalence(t *testing.T) {
+	a, _ := graph.ErdosRenyi(500, 5, 17)
+	stripes, _ := matrix.Partition1D(a, 100)
+	x := randomX(500, 18)
+	for _, s := range stripes {
+		seg := x[s.ColStart : s.ColStart+s.Width]
+		ref, _, err := step1(s, seg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lanes := range []int{1, 3, 8} {
+			got, cycles, err := step1Lanes(s, seg, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NNZ() != ref.NNZ() {
+				t.Fatalf("lanes %d: nnz %d vs %d", lanes, got.NNZ(), ref.NNZ())
+			}
+			for i := range ref.Recs {
+				if ref.Recs[i] != got.Recs[i] {
+					t.Fatalf("lanes %d: record %d differs", lanes, i)
+				}
+			}
+			wantCycles := (uint64(s.NNZ()) + uint64(lanes) - 1) / uint64(lanes)
+			if cycles != wantCycles {
+				t.Errorf("lanes %d: %d cycles, want %d", lanes, cycles, wantCycles)
+			}
+		}
+	}
+}
+
+func TestStep1EmitsSortedVector(t *testing.T) {
+	a, _ := graph.ErdosRenyi(300, 4, 19)
+	stripes, _ := matrix.Partition1D(a, 50)
+	x := randomX(300, 20)
+	for _, s := range stripes {
+		v, _, err := step1(s, x[s.ColStart:s.ColStart+s.Width], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("stripe %d: %v", s.Index, err)
+		}
+	}
+}
+
+func TestIterateMatchesRepeatedReference(t *testing.T) {
+	e, _ := New(testConfig())
+	a, _ := graph.ErdosRenyi(400, 3, 21)
+	x0 := randomX(400, 22)
+	res, err := e.Iterate(a, x0, IterateOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := x0.Clone()
+	for i := 0; i < 3; i++ {
+		want, _ = referenceSpMV(a, want, nil)
+	}
+	if d := res.X.MaxAbsDiff(want); d > 1e-6 {
+		t.Errorf("3-iteration max diff %g", d)
+	}
+}
+
+func TestIterateOverlapEquivalentResults(t *testing.T) {
+	a, _ := graph.ErdosRenyi(400, 3, 23)
+	x0 := randomX(400, 24)
+	e1, _ := New(testConfig())
+	e2, _ := New(testConfig())
+	r1, err := e1.Iterate(a, x0, IterateOptions{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Iterate(a, x0, IterateOptions{Iterations: 4, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r1.X.MaxAbsDiff(r2.X); d > 1e-12 {
+		t.Errorf("ITS changed results: %g", d)
+	}
+	// ITS saves the transition round trips and the ledger shows it.
+	if r2.TransitionBytesSaved != 3*400*8*2 {
+		t.Errorf("TransitionBytesSaved = %d", r2.TransitionBytesSaved)
+	}
+	if e2.Traffic().ResultBytes >= e1.Traffic().ResultBytes {
+		t.Errorf("ITS result traffic %d not below TS %d",
+			e2.Traffic().ResultBytes, e1.Traffic().ResultBytes)
+	}
+}
+
+func TestIterateOverlapHalvesCapacity(t *testing.T) {
+	e, _ := New(testConfig()) // capacity 8192, ITS capacity 4096
+	a := graph.Diagonal(5000, 1)
+	x := vector.NewDense(5000)
+	if _, err := e.Iterate(a, x, IterateOptions{Iterations: 1, Overlap: true}); err == nil {
+		t.Error("ITS accepted a matrix beyond half capacity")
+	}
+	if _, err := e.Iterate(a, x, IterateOptions{Iterations: 1}); err != nil {
+		t.Errorf("TS rejected a matrix within capacity: %v", err)
+	}
+}
+
+func TestIterateRejectsBadArgs(t *testing.T) {
+	e, _ := New(testConfig())
+	a := graph.Diagonal(10, 1)
+	if _, err := e.Iterate(a, vector.NewDense(10), IterateOptions{Iterations: 0}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	rect, _ := matrix.NewCOO(4, 5, []matrix.Entry{{Row: 0, Col: 0, Val: 1}})
+	if _, err := e.Iterate(rect, vector.NewDense(5), IterateOptions{Iterations: 1}); err == nil {
+		t.Error("rectangular iterate accepted")
+	}
+}
+
+func TestPageRankConverges(t *testing.T) {
+	e, _ := New(testConfig())
+	a, err := graph.Zipf(2000, 5, 1.7, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, iters, err := e.PageRank(a, 0.85, 1e-8, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters >= 100 {
+		t.Errorf("PageRank did not converge in %d iterations", iters)
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if sum < 0.5 || sum > 1.5 {
+		t.Errorf("rank mass %g far from 1", sum)
+	}
+}
+
+func TestPageRankDamping(t *testing.T) {
+	// Damping 0 gives the uniform vector immediately.
+	e, _ := New(testConfig())
+	a, _ := graph.ErdosRenyi(100, 3, 26)
+	ranks, iters, err := e.PageRank(a, 0, 1e-12, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Errorf("damping-0 PageRank took %d iterations", iters)
+	}
+	for _, r := range ranks {
+		if r != 1.0/100 {
+			t.Fatalf("rank %g != 0.01", r)
+		}
+	}
+}
+
+func TestReferenceSpMVChecksDims(t *testing.T) {
+	a := graph.Diagonal(4, 1)
+	if _, err := ReferenceSpMV(a, vector.NewDense(3), nil); err == nil {
+		t.Error("bad x accepted")
+	}
+	if _, err := ReferenceSpMV(a, vector.NewDense(4), vector.NewDense(2)); err == nil {
+		t.Error("bad y accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mwmerge/internal/hdn"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+// Engine executes Two-Step SpMV while keeping the off-chip traffic ledger.
+type Engine struct {
+	cfg     Config
+	network *prap.Network
+	traffic mem.Traffic
+	stats   RunStats
+}
+
+// RunStats aggregates execution statistics across calls.
+type RunStats struct {
+	Stripes              int
+	Products             uint64
+	IntermediateRecords  uint64
+	MergeStats           prap.Stats
+	HDN                  hdn.RouteStats
+	HDNFilterBytes       uint64
+	CompressedVecBytes   uint64 // intermediate meta+val bytes after VLDI
+	UncompressedVecBytes uint64
+	CompressedMatBytes   uint64 // matrix meta bytes after VLDI (values excluded)
+	UncompressedMatBytes uint64
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := prap.New(cfg.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, network: n}, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Traffic returns the accumulated off-chip traffic ledger.
+func (e *Engine) Traffic() mem.Traffic { return e.traffic }
+
+// Stats returns accumulated execution statistics.
+func (e *Engine) Stats() RunStats { return e.stats }
+
+// ResetCounters clears the traffic ledger and statistics.
+func (e *Engine) ResetCounters() {
+	e.traffic = mem.Traffic{}
+	e.stats = RunStats{}
+}
+
+// SpMV computes y = A·x + yIn with the Two-Step algorithm. yIn may be nil
+// for y = A·x. The matrix dimension must not exceed cfg.MaxDimension().
+func (e *Engine) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) {
+	if uint64(len(x)) != a.Cols {
+		return nil, fmt.Errorf("core: x dimension %d != %d columns", len(x), a.Cols)
+	}
+	if yIn != nil && uint64(len(yIn)) != a.Rows {
+		return nil, fmt.Errorf("core: y dimension %d != %d rows", len(yIn), a.Rows)
+	}
+	if a.Rows > e.cfg.MaxDimension() {
+		return nil, fmt.Errorf("core: dimension %d exceeds engine capacity %d (ways %d x segment %d)",
+			a.Rows, e.cfg.MaxDimension(), e.cfg.Merge.Ways, e.cfg.SegmentWidth())
+	}
+
+	var det *hdn.Detector
+	if e.cfg.HDN != nil {
+		d, err := hdn.Build(a, *e.cfg.HDN)
+		if err != nil {
+			return nil, err
+		}
+		det = d
+		e.stats.HDNFilterBytes = d.SizeBytes()
+		// Building the filter streams the meta-data once (§5.3).
+		e.traffic.MatrixBytes += uint64(a.NNZ()) * uint64(e.cfg.MetaBytes)
+	}
+
+	lists, err := e.runStep1(a, x, det)
+	if err != nil {
+		return nil, err
+	}
+	return e.runStep2(lists, a.Rows, yIn)
+}
+
+// stripeOutcome carries one stripe's records plus its accounting deltas,
+// so parallel workers stay side-effect free and the ledger merge is
+// deterministic in stripe order.
+type stripeOutcome struct {
+	recs               []types.Record
+	st                 Step1Stats
+	traffic            mem.Traffic
+	compVec, uncompVec uint64
+	compMat, uncompMat uint64
+	err                error
+}
+
+// runStep1 partitions A, executes the per-stripe partial SpMV (optionally
+// across Workers goroutines) and merges the accounting. It returns the
+// sorted intermediate record lists.
+func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][]types.Record, error) {
+	width := e.cfg.SegmentWidth()
+	stripes, err := matrix.Partition1D(a, width)
+	if err != nil {
+		return nil, err
+	}
+	if len(stripes) > e.cfg.Merge.Ways {
+		return nil, fmt.Errorf("core: %d stripes exceed %d merge ways", len(stripes), e.cfg.Merge.Ways)
+	}
+	e.stats.Stripes = len(stripes)
+
+	outcomes := make([]stripeOutcome, len(stripes))
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(stripes) {
+		workers = len(stripes)
+	}
+	if workers <= 1 {
+		for k, s := range stripes {
+			outcomes[k] = e.processStripe(s, x, det)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range work {
+					outcomes[k] = e.processStripe(stripes[k], x, det)
+				}
+			}()
+		}
+		for k := range stripes {
+			work <- k
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	lists := make([][]types.Record, len(stripes))
+	for k, out := range outcomes {
+		if out.err != nil {
+			return nil, out.err
+		}
+		lists[k] = out.recs
+		e.traffic = e.traffic.Add(out.traffic)
+		e.stats.Products += out.st.Products
+		e.stats.HDN.HDNRecords += out.st.HDN.HDNRecords
+		e.stats.HDN.GeneralRecords += out.st.HDN.GeneralRecords
+		e.stats.HDN.FalseRouted += out.st.HDN.FalseRouted
+		e.stats.IntermediateRecords += uint64(len(out.recs))
+		e.stats.CompressedVecBytes += out.compVec
+		e.stats.UncompressedVecBytes += out.uncompVec
+		e.stats.CompressedMatBytes += out.compMat
+		e.stats.UncompressedMatBytes += out.uncompMat
+	}
+	return lists, nil
+}
+
+// processStripe runs step 1 for one stripe and computes its full
+// accounting without touching engine state.
+func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detector) stripeOutcome {
+	var out stripeOutcome
+	xSeg := x[s.ColStart : s.ColStart+s.Width]
+	// x segment streamed into the scratchpad once per stripe.
+	out.traffic.SourceVectorBytes += s.Width * uint64(e.cfg.ValueBytes)
+
+	v, st, err := step1(s, xSeg, det)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.st = st
+
+	// Matrix stripe stream: values plus (possibly VLDI-compressed)
+	// meta-data, with CSR vs RM-COO chosen by the §3.1 hypersparsity
+	// rule.
+	nnz := uint64(s.NNZ())
+	_, metaBytes := matrix.BestStripeFormat(s.Rows, nnz, e.cfg.MetaBytes)
+	out.uncompMat = metaBytes
+	if e.cfg.MatrixCodec != nil {
+		metaBytes = e.compressedStripeMeta(s)
+	}
+	out.compMat = metaBytes
+	out.traffic.MatrixBytes += nnz*uint64(e.cfg.ValueBytes) + metaBytes
+
+	// Intermediate vector write (the DRAM half of the round trip).
+	wBytes, comp, uncomp := e.vecBytes(v.Recs)
+	out.traffic.IntermediateWrite += wBytes
+	out.compVec += comp
+	out.uncompVec += uncomp
+
+	if e.cfg.VectorCodec != nil {
+		// Functional round trip through the codec proves the compressed
+		// stream reconstructs exactly.
+		cv, err := e.cfg.VectorCodec.CompressSparse(v, e.cfg.ValueBytes)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		v, err = e.cfg.VectorCodec.DecompressSparse(cv)
+		if err != nil {
+			out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
+			return out
+		}
+	}
+	out.recs = recordsOf(v)
+	return out
+}
+
+// runStep2 merges the intermediate lists through the PRaP network and
+// accounts the intermediate-read and result traffic.
+func (e *Engine) runStep2(lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, error) {
+	for _, l := range lists {
+		b, comp, uncomp := e.vecBytes(l)
+		e.traffic.IntermediateRead += b
+		e.stats.CompressedVecBytes += comp
+		e.stats.UncompressedVecBytes += uncomp
+	}
+	y, st, err := e.network.Merge(lists, dim, yIn)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.MergeStats = st
+	e.traffic.ResultBytes += dim * uint64(e.cfg.ValueBytes) // y streamed out
+	if yIn != nil {
+		e.traffic.ResultBytes += dim * uint64(e.cfg.ValueBytes) // y-in streamed in
+	}
+	return y, nil
+}
+
+// compressedStripeMeta VLDI-encodes the stripe meta-data: the column-index
+// delta stream within each row (sequential, streaming-only reads — §5.1)
+// plus one row-delta per row transition.
+func (e *Engine) compressedStripeMeta(s *matrix.Stripe) uint64 {
+	codec := e.cfg.MatrixCodec
+	var deltas []uint64
+	var prevRow, prevCol uint64
+	first := true
+	for _, ent := range s.Entries {
+		if first || ent.Row != prevRow {
+			rowDelta := ent.Row
+			if !first {
+				rowDelta = ent.Row - prevRow
+			}
+			deltas = append(deltas, rowDelta, ent.Col)
+			prevRow, prevCol = ent.Row, ent.Col
+			first = false
+			continue
+		}
+		deltas = append(deltas, ent.Col-prevCol)
+		prevCol = ent.Col
+	}
+	enc := codec.EncodeDeltas(deltas)
+	return enc.Bytes()
+}
+
+// vecBytes returns the DRAM footprint of an intermediate record stream at
+// the engine's precision (VLDI-compressed when configured) together with
+// the compressed/uncompressed byte deltas for the statistics.
+func (e *Engine) vecBytes(recs []types.Record) (footprint, compressed, uncompressed uint64) {
+	nnz := uint64(len(recs))
+	raw := nnz * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)
+	if e.cfg.VectorCodec == nil || nnz == 0 {
+		return raw, raw, raw
+	}
+	keys := make([]uint64, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	deltas, err := vldi.DeltasFromKeys(keys)
+	if err != nil {
+		// Sorted invariant violated upstream; charge uncompressed.
+		return raw, raw, raw
+	}
+	enc := e.cfg.VectorCodec.EncodeDeltas(deltas)
+	b := enc.Bytes() + nnz*uint64(e.cfg.ValueBytes)
+	return b, b, raw
+}

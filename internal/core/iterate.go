@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+// IterateOptions controls iterative SpMV execution (x_{i+1} = A·x_i ...),
+// the pattern of PageRank-style workloads (§5.2).
+type IterateOptions struct {
+	// Iterations is the number of SpMV applications.
+	Iterations int
+	// Overlap enables Iteration-overlapped Two-Step (ITS): step 2 of
+	// iteration i runs concurrently with step 1 of iteration i+1, the
+	// y_i = x_{i+1} DRAM round trip between iterations disappears, and
+	// the engine needs two source-vector segment buffers, halving the
+	// maximum dimension.
+	Overlap bool
+	// Damping, when non-zero, applies the PageRank update
+	// x' = Damping·A·x + (1-Damping)/N after each multiplication.
+	Damping float64
+}
+
+// IterateResult reports an iterative run.
+type IterateResult struct {
+	X          vector.Dense
+	Iterations int
+	// TransitionBytesSaved is the y round-trip traffic ITS eliminated.
+	TransitionBytesSaved uint64
+}
+
+// Iterate runs iterative SpMV. With Overlap set, the engine verifies the
+// halved-capacity constraint (two segments must fit in the scratchpad)
+// before running; functionally, overlap and non-overlap produce identical
+// vectors — the difference is the traffic ledger and the capacity bound,
+// exactly as in the paper's Table 2.
+func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (IterateResult, error) {
+	var res IterateResult
+	if opt.Iterations < 1 {
+		return res, fmt.Errorf("core: iteration count must be positive")
+	}
+	if a.Rows != a.Cols {
+		return res, fmt.Errorf("core: iterative SpMV needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	capacity := e.cfg.MaxDimension()
+	if opt.Overlap {
+		capacity /= 2
+	}
+	if a.Rows > capacity {
+		return res, fmt.Errorf("core: dimension %d exceeds %scapacity %d",
+			a.Rows, map[bool]string{true: "ITS ", false: ""}[opt.Overlap], capacity)
+	}
+
+	x := x0.Clone()
+	n := float64(a.Rows)
+	for it := 0; it < opt.Iterations; it++ {
+		y, err := e.SpMV(a, x, nil)
+		if err != nil {
+			return res, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+		if opt.Damping != 0 {
+			y.Scale(opt.Damping)
+			base := (1 - opt.Damping) / n
+			for i := range y {
+				y[i] += base
+			}
+		}
+		x = y
+
+		transition := a.Rows * uint64(e.cfg.ValueBytes) * 2 // y out + x in
+		if it < opt.Iterations-1 {
+			if opt.Overlap {
+				// ITS: the freshly generated segment stays on chip in
+				// the second buffer; no DRAM transition round trip.
+				res.TransitionBytesSaved += transition
+			} else {
+				e.traffic.ResultBytes += transition
+			}
+		}
+	}
+	res.X = x
+	res.Iterations = opt.Iterations
+	return res, nil
+}
+
+// PageRank runs damped power iteration until the L1 delta drops below tol
+// or maxIters is reached, returning the rank vector and iterations used.
+// It is the workload of the paper's iterative-SpMV optimization study.
+func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, overlap bool) (vector.Dense, int, error) {
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("core: PageRank needs a square matrix")
+	}
+	n := a.Rows
+	// Column-normalize A so columns sum to 1 (dangling columns get
+	// uniform teleport handled by damping).
+	colSum := make([]float64, n)
+	for _, ent := range a.Entries {
+		colSum[ent.Col] += ent.Val
+	}
+	norm := a.Clone()
+	for i, ent := range norm.Entries {
+		if colSum[ent.Col] != 0 {
+			norm.Entries[i].Val = ent.Val / colSum[ent.Col]
+		}
+	}
+
+	x := vector.NewDense(int(n))
+	x.Fill(1 / float64(n))
+	capacity := e.cfg.MaxDimension()
+	if overlap {
+		capacity /= 2
+	}
+	if a.Rows > capacity {
+		return nil, 0, fmt.Errorf("core: dimension %d exceeds capacity %d", a.Rows, capacity)
+	}
+	for it := 1; it <= maxIters; it++ {
+		y, err := e.SpMV(norm, x, nil)
+		if err != nil {
+			return nil, it, err
+		}
+		y.Scale(damping)
+		base := (1 - damping) / float64(n)
+		for i := range y {
+			y[i] += base
+		}
+		delta := 0.0
+		for i := range y {
+			d := y[i] - x[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		x = y
+		if delta < tol {
+			return x, it, nil
+		}
+	}
+	return x, maxIters, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/merge"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// SpMVSliced computes y = A·x + yIn for problems whose stripe count
+// exceeds the merge network's K ways — the "slicing and partitioning
+// larger graphs" regime the paper notes prior accelerators fall into
+// (§1). Intermediate vectors are merged in batches of K: each batch
+// collapses to one combined sorted vector that makes an extra DRAM round
+// trip, and passes repeat until at most K lists remain for the final
+// PRaP merge. Functionally identical to SpMV; the price is the extra
+// round-trip traffic, which the ledger records.
+func (e *Engine) SpMVSliced(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, int, error) {
+	if uint64(len(x)) != a.Cols {
+		return nil, 0, fmt.Errorf("core: x dimension %d != %d columns", len(x), a.Cols)
+	}
+	if yIn != nil && uint64(len(yIn)) != a.Rows {
+		return nil, 0, fmt.Errorf("core: y dimension %d != %d rows", len(yIn), a.Rows)
+	}
+	// No MaxDimension bound here: slicing exists precisely to exceed it.
+
+	width := e.cfg.SegmentWidth()
+	stripes, err := matrix.Partition1D(a, width)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.stats.Stripes = len(stripes)
+	lists := make([][]types.Record, len(stripes))
+	for k, s := range stripes {
+		out := e.processStripe(s, x, nil)
+		if out.err != nil {
+			return nil, 0, out.err
+		}
+		lists[k] = out.recs
+		e.traffic = e.traffic.Add(out.traffic)
+		e.stats.Products += out.st.Products
+		e.stats.IntermediateRecords += uint64(len(out.recs))
+		e.stats.CompressedVecBytes += out.compVec
+		e.stats.UncompressedVecBytes += out.uncompVec
+		e.stats.CompressedMatBytes += out.compMat
+		e.stats.UncompressedMatBytes += out.uncompMat
+	}
+
+	passes := 0
+	ways := e.cfg.Merge.Ways
+	for len(lists) > ways {
+		passes++
+		var next [][]types.Record
+		for off := 0; off < len(lists); off += ways {
+			end := off + ways
+			if end > len(lists) {
+				end = len(lists)
+			}
+			batch := lists[off:end]
+			// Reading each batch list and writing the combined list are
+			// extra DRAM round trips beyond the baseline two-step flow.
+			for _, l := range batch {
+				b, comp, uncomp := e.vecBytes(l)
+				e.traffic.IntermediateRead += b
+				e.stats.CompressedVecBytes += comp
+				e.stats.UncompressedVecBytes += uncomp
+			}
+			combined := merge.MergeAccumulate(batch)
+			b, comp, uncomp := e.vecBytes(combined)
+			e.traffic.IntermediateWrite += b
+			e.stats.CompressedVecBytes += comp
+			e.stats.UncompressedVecBytes += uncomp
+			next = append(next, combined)
+		}
+		lists = next
+	}
+	y, err := e.runStep2(lists, a.Rows, yIn)
+	if err != nil {
+		return nil, passes, err
+	}
+	return y, passes, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// sparseFrontier builds a sparse vector with nnz nonzeros.
+func sparseFrontier(t *testing.T, dim uint64, nnz int, seed int64) *vector.Sparse {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := map[uint64]bool{}
+	for len(keys) < nnz {
+		keys[rng.Uint64()%dim] = true
+	}
+	s := vector.NewSparse(int(dim), nnz)
+	for k := uint64(0); k < dim; k++ {
+		if keys[k] {
+			if err := s.Append(types.Record{Key: k, Val: rng.NormFloat64()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestSpMSpVMatchesDense(t *testing.T) {
+	e, _ := New(testConfig())
+	a, err := graph.ErdosRenyi(2000, 4, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nnz := range []int{1, 10, 200} {
+		sx := sparseFrontier(t, 2000, nnz, int64(nnz))
+		got, st, err := e.SpMSpV(a, sx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := referenceSpMV(a, sx.ToDense(), nil)
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("nnz=%d: diff %g", nnz, d)
+		}
+		if st.SegmentsActive > st.SegmentsTotal {
+			t.Errorf("active %d > total %d", st.SegmentsActive, st.SegmentsTotal)
+		}
+	}
+}
+
+func TestSpMSpVSkipsInactiveSegments(t *testing.T) {
+	e, _ := New(testConfig()) // segment width 128
+	a, _ := graph.ErdosRenyi(2000, 3, 42)
+	// Single nonzero: exactly one active segment of ceil(2000/128)=16.
+	sx := vector.NewSparse(2000, 1)
+	if err := sx.Append(types.Record{Key: 300, Val: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := e.SpMSpV(a, sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsTotal != 16 {
+		t.Fatalf("total segments %d", st.SegmentsTotal)
+	}
+	if st.SegmentsActive != 1 {
+		t.Errorf("active segments %d, want 1", st.SegmentsActive)
+	}
+	// Matrix traffic covers only the active stripe.
+	tr := e.Traffic()
+	full := uint64(a.NNZ()) * 16
+	if tr.MatrixBytes >= full {
+		t.Errorf("matrix traffic %d not below full-stream %d", tr.MatrixBytes, full)
+	}
+}
+
+func TestSpMSpVSkippedOperandAccounting(t *testing.T) {
+	e, _ := New(testConfig())
+	a, _ := graph.ErdosRenyi(1000, 5, 43)
+	sx := sparseFrontier(t, 1000, 50, 44)
+	_, st, err := e.SpMSpV(a, sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesVisited == 0 || st.EntriesSkipped == 0 {
+		t.Errorf("expected both visited and skipped entries: %+v", st)
+	}
+}
+
+func TestSpMSpVValidation(t *testing.T) {
+	e, _ := New(testConfig())
+	a := graph.Diagonal(100, 1)
+	if _, _, err := e.SpMSpV(a, nil); err == nil {
+		t.Error("nil vector accepted")
+	}
+	wrong := vector.NewSparse(50, 0)
+	if _, _, err := e.SpMSpV(a, wrong); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	// Corrupt ordering must be rejected.
+	bad := vector.NewSparse(100, 2)
+	bad.Recs = []types.Record{{Key: 5, Val: 1}, {Key: 3, Val: 1}}
+	if _, _, err := e.SpMSpV(a, bad); err == nil {
+		t.Error("unsorted vector accepted")
+	}
+}
+
+func TestSpMSpVEmptyFrontier(t *testing.T) {
+	e, _ := New(testConfig())
+	a := graph.Diagonal(100, 2)
+	sx := vector.NewSparse(100, 0)
+	y, st, err := e.SpMSpV(a, sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() != 0 {
+		t.Error("empty frontier produced output")
+	}
+	if st.SegmentsActive != 0 {
+		t.Errorf("active segments %d", st.SegmentsActive)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// SpMVStripes computes y = A·x + yIn directly from a prebuilt stripe
+// layout (e.g. the output of internal/layout's streaming builder),
+// skipping the in-memory COO partition. The stripes must be exactly the
+// engine's segment width (except the last), contiguous from column 0 —
+// the layout the accelerator keeps resident in DRAM.
+func (e *Engine) SpMVStripes(stripes []*matrix.Stripe, rows, cols uint64, x, yIn vector.Dense) (vector.Dense, error) {
+	if uint64(len(x)) != cols {
+		return nil, fmt.Errorf("core: x dimension %d != %d columns", len(x), cols)
+	}
+	if yIn != nil && uint64(len(yIn)) != rows {
+		return nil, fmt.Errorf("core: y dimension %d != %d rows", len(yIn), rows)
+	}
+	if rows > e.cfg.MaxDimension() {
+		return nil, fmt.Errorf("core: dimension %d exceeds engine capacity %d", rows, e.cfg.MaxDimension())
+	}
+	if len(stripes) > e.cfg.Merge.Ways {
+		return nil, fmt.Errorf("core: %d stripes exceed %d merge ways", len(stripes), e.cfg.Merge.Ways)
+	}
+	width := e.cfg.SegmentWidth()
+	var covered uint64
+	for k, s := range stripes {
+		if s.ColStart != covered {
+			return nil, fmt.Errorf("core: stripe %d starts at column %d, want %d", k, s.ColStart, covered)
+		}
+		if s.Width == 0 || (s.Width != width && k != len(stripes)-1) {
+			return nil, fmt.Errorf("core: stripe %d width %d != segment width %d", k, s.Width, width)
+		}
+		if s.Rows != rows {
+			return nil, fmt.Errorf("core: stripe %d row dimension %d != %d", k, s.Rows, rows)
+		}
+		covered += s.Width
+	}
+	if covered != cols {
+		return nil, fmt.Errorf("core: stripes cover %d of %d columns", covered, cols)
+	}
+
+	e.stats.Stripes = len(stripes)
+	lists := make([][]types.Record, len(stripes))
+	for k, s := range stripes {
+		out := e.processStripe(s, x, nil)
+		if out.err != nil {
+			return nil, out.err
+		}
+		lists[k] = out.recs
+		e.traffic = e.traffic.Add(out.traffic)
+		e.stats.Products += out.st.Products
+		e.stats.IntermediateRecords += uint64(len(out.recs))
+		e.stats.CompressedVecBytes += out.compVec
+		e.stats.UncompressedVecBytes += out.uncompVec
+		e.stats.CompressedMatBytes += out.compMat
+		e.stats.UncompressedMatBytes += out.uncompMat
+	}
+	return e.runStep2(lists, rows, yIn)
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mwmerge/internal/matrix"
+)
+
+// Kronecker generates a stochastic Kronecker graph from an arbitrary
+// square initiator probability matrix — the generalization of RMAT (which
+// is the 2x2 special case) used by the Graph500 specification. The
+// dimension is len(initiator)^scale; edges per node set the target count.
+func Kronecker(initiator [][]float64, scale uint, edgesPerNode float64, seed int64) (*matrix.COO, error) {
+	k := len(initiator)
+	if k < 2 {
+		return nil, fmt.Errorf("graph: initiator must be at least 2x2")
+	}
+	var sum float64
+	for _, row := range initiator {
+		if len(row) != k {
+			return nil, fmt.Errorf("graph: initiator not square")
+		}
+		for _, p := range row {
+			if p < 0 {
+				return nil, fmt.Errorf("graph: negative initiator probability")
+			}
+			sum += p
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("graph: initiator probabilities sum to %g, want 1", sum)
+	}
+	if scale == 0 || math.Pow(float64(k), float64(scale)) > 1e12 {
+		return nil, fmt.Errorf("graph: scale %d out of range for a %dx%d initiator", scale, k, k)
+	}
+
+	// Flatten cells with cumulative probabilities for sampling.
+	type cell struct {
+		r, c int
+		cum  float64
+	}
+	cells := make([]cell, 0, k*k)
+	var cum float64
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			cum += initiator[r][c]
+			cells = append(cells, cell{r: r, c: c, cum: cum})
+		}
+	}
+
+	n := uint64(math.Pow(float64(k), float64(scale)))
+	m := uint64(math.Round(float64(n) * edgesPerNode))
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]matrix.Entry, 0, m)
+	for i := uint64(0); i < m; i++ {
+		var row, col uint64
+		for level := uint(0); level < scale; level++ {
+			u := rng.Float64()
+			pick := cells[len(cells)-1]
+			for _, cl := range cells {
+				if u < cl.cum {
+					pick = cl
+					break
+				}
+			}
+			row = row*uint64(k) + uint64(pick.r)
+			col = col*uint64(k) + uint64(pick.c)
+		}
+		entries = append(entries, matrix.Entry{Row: row, Col: col, Val: rng.Float64() + math.SmallestNonzeroFloat64})
+	}
+	return matrix.NewCOO(n, n, entries)
+}
+
+// Graph500Initiator returns the 2x2 Graph500 initiator as a Kronecker
+// matrix; Kronecker with this initiator is statistically equivalent to
+// RMAT with Graph500Params.
+func Graph500Initiator() [][]float64 {
+	p := Graph500Params()
+	return [][]float64{{p.A, p.B}, {p.C, p.D}}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestKroneckerShape(t *testing.T) {
+	m, err := Kronecker(Graph500Initiator(), 10, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 1024 {
+		t.Fatalf("dimension %d, want 2^10", m.Rows)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() < 4000 {
+		t.Errorf("nnz = %d", m.NNZ())
+	}
+}
+
+func TestKronecker3x3Initiator(t *testing.T) {
+	init := [][]float64{
+		{0.4, 0.1, 0.1},
+		{0.1, 0.1, 0.05},
+		{0.05, 0.05, 0.05},
+	}
+	m, err := Kronecker(init, 6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 729 { // 3^6
+		t.Fatalf("dimension %d, want 729", m.Rows)
+	}
+	// The heavy top-left corner concentrates edges on low indices.
+	var lowHalf int
+	for _, e := range m.Entries {
+		if e.Row < m.Rows/2 && e.Col < m.Cols/2 {
+			lowHalf++
+		}
+	}
+	if float64(lowHalf) < 0.5*float64(m.NNZ()) {
+		t.Errorf("only %d of %d edges in the heavy quadrant", lowHalf, m.NNZ())
+	}
+}
+
+func TestKroneckerMatchesRMATSkew(t *testing.T) {
+	// Graph500 initiator Kronecker must be skewed like RMAT.
+	m, err := Kronecker(Graph500Initiator(), 12, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(m.MaxDegree()) < 5*m.AvgDegree() {
+		t.Errorf("Kronecker not skewed: max %d avg %g", m.MaxDegree(), m.AvgDegree())
+	}
+}
+
+func TestKroneckerValidation(t *testing.T) {
+	if _, err := Kronecker([][]float64{{1}}, 4, 4, 1); err == nil {
+		t.Error("1x1 initiator accepted")
+	}
+	if _, err := Kronecker([][]float64{{0.5, 0.5}, {0.5}}, 4, 4, 1); err == nil {
+		t.Error("ragged initiator accepted")
+	}
+	if _, err := Kronecker([][]float64{{0.9, 0.2}, {0.2, 0.2}}, 4, 4, 1); err == nil {
+		t.Error("non-normalized initiator accepted")
+	}
+	if _, err := Kronecker([][]float64{{0.5, -0.1}, {0.3, 0.3}}, 4, 4, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := Kronecker(Graph500Initiator(), 0, 4, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoadNetworkShape(t *testing.T) {
+	m, err := RoadNetwork(10000, 1.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AvgDegree()-1.05) > 0.05 {
+		t.Errorf("avg degree %g, want ~1.05", m.AvgDegree())
+	}
+}
+
+func TestRoadNetworkIsBanded(t *testing.T) {
+	// Roads are local: bandwidth must be tiny compared to an ER graph
+	// of the same density.
+	road, err := RoadNetwork(20000, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyi(20000, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRoad, bER := Bandwidth(road), Bandwidth(er)
+	if bRoad*10 > bER {
+		t.Errorf("road bandwidth %d not << ER bandwidth %d", bRoad, bER)
+	}
+	if bRoad > 64 {
+		t.Errorf("road bandwidth %d exceeds the branch offset cap", bRoad)
+	}
+}
+
+func TestRoadNetworkBackboneConnectivity(t *testing.T) {
+	// The chain backbone means almost every node has an out-edge to a
+	// near neighbor: few empty rows compared to ER at degree ~1.
+	road, _ := RoadNetwork(10000, 1.05, 3)
+	er, _ := ErdosRenyi(10000, 1.05, 3)
+	emptyRoad := AnalyzeDegrees(road, 100).EmptyRows
+	emptyER := AnalyzeDegrees(er, 100).EmptyRows
+	if emptyRoad*5 > emptyER {
+		t.Errorf("road has %d empty rows vs ER %d; chain backbone missing", emptyRoad, emptyER)
+	}
+}
+
+func TestRoadNetworkRejectsBadArgs(t *testing.T) {
+	if _, err := RoadNetwork(1, 1.05, 1); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := RoadNetwork(100, 0.5, 1); err == nil {
+		t.Error("degree < 1 accepted")
+	}
+	if _, err := RoadNetwork(100, 5, 1); err == nil {
+		t.Error("degree 5 accepted for a road network")
+	}
+}
+
+func TestRoadDatasetsInstantiateAsRoads(t *testing.T) {
+	d, err := Lookup("europe_osm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindRoad {
+		t.Fatalf("europe_osm kind = %v", d.Kind)
+	}
+	m, err := d.Instantiate(5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Bandwidth(m) > 64 {
+		t.Errorf("instantiated osm graph not banded: bandwidth %d", Bandwidth(m))
+	}
+}
+
+func TestBandwidthDiagonal(t *testing.T) {
+	if Bandwidth(Diagonal(10, 1)) != 0 {
+		t.Error("diagonal bandwidth must be 0")
+	}
+}

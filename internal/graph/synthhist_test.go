@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"testing"
+)
+
+func histTotals(h []uint64) (nodes uint64, edges uint64) {
+	for d, c := range h {
+		nodes += c
+		edges += uint64(d) * c
+	}
+	return
+}
+
+func TestSyntheticDegreeHistConservation(t *testing.T) {
+	for _, id := range []string{"Sy-60M", "TW", "road_central", "RMAT"} {
+		d, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := SyntheticDegreeHist(d, 4096)
+		nodes, edges := histTotals(h)
+		// Node count conserved within 1%.
+		nd := float64(nodes)/float64(d.Nodes()) - 1
+		if nd < -0.01 || nd > 0.01 {
+			t.Errorf("%s: histogram nodes %d vs %d", id, nodes, d.Nodes())
+		}
+		// Edge mass conserves within 40% for light-tailed kinds; for
+		// power-law kinds the hubs clamp into the last bin by design
+		// (the touched-stripes model saturates at the stripe count
+		// long before that), so only the node mass is checked there.
+		if d.Kind == KindUniform || d.Kind == KindRoad {
+			ed := float64(edges) / float64(d.Edges())
+			if ed < 0.6 || ed > 1.4 {
+				t.Errorf("%s: histogram edges %d vs %d (ratio %.2f)", id, edges, d.Edges(), ed)
+			}
+		} else if edges == 0 {
+			t.Errorf("%s: histogram carries no edge mass", id)
+		}
+	}
+}
+
+func TestSyntheticDegreeHistMatchesSampledShape(t *testing.T) {
+	// Scaled instantiation of a power-law dataset must put a similar
+	// edge share on high-degree rows as the synthetic histogram.
+	d, _ := Lookup("TW")
+	m, err := d.Instantiate(1<<14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := AnalyzeDegrees(m, 100)
+	sampledShare := float64(st.HDNEdges) / float64(st.NNZ)
+
+	// Build a synthetic hist for a same-sized dataset.
+	small := d
+	small.NodesM = float64(m.Rows) / 1e6
+	small.EdgesM = float64(m.NNZ()) / 1e6
+	h := SyntheticDegreeHist(small, 1<<15)
+	var hdnEdges, totalEdges uint64
+	for deg, c := range h {
+		totalEdges += uint64(deg) * c
+		if deg > 100 {
+			hdnEdges += uint64(deg) * c
+		}
+	}
+	synthShare := float64(hdnEdges) / float64(totalEdges)
+	if synthShare < 0.5*sampledShare || synthShare > 1.5*sampledShare {
+		t.Errorf("HDN edge share: synthetic %.2f vs sampled %.2f", synthShare, sampledShare)
+	}
+}
+
+func TestSyntheticDegreeHistDegenerate(t *testing.T) {
+	var empty Dataset
+	h := SyntheticDegreeHist(empty, 10)
+	if n, e := histTotals(h); n != 0 || e != 0 {
+		t.Error("empty dataset produced mass")
+	}
+}

@@ -1,0 +1,105 @@
+package hdn
+
+import (
+	"mwmerge/internal/matrix"
+)
+
+// PipelineModel quantifies the §5.3 motivation: a High Degree Node's row
+// produces a long run of same-row products whose accumulation is a serial
+// dependence chain. The general pipeline's adder chain absorbs short runs
+// at one product per cycle, but once a run exceeds the chain depth every
+// further product pays the full FP-add latency. The dedicated HDN
+// accumulator (a tree reducer) sustains one product per cycle on
+// arbitrarily long runs.
+type PipelineModel struct {
+	// AddLatency is the FP adder latency in cycles.
+	AddLatency uint64
+	// ChainDepth is the general pipeline's adder-chain capacity: the
+	// longest run it accumulates without a dependent-add stall.
+	ChainDepth uint64
+}
+
+// DefaultPipelineModel matches a 16nm FP pipeline: 4-cycle adds, 8-deep
+// chains.
+func DefaultPipelineModel() PipelineModel {
+	return PipelineModel{AddLatency: 4, ChainDepth: 8}
+}
+
+// GeneralRunCycles returns the general pipeline's cost of accumulating a
+// run of d same-row products.
+func (p PipelineModel) GeneralRunCycles(d uint64) uint64 {
+	if d == 0 {
+		return 0
+	}
+	if d <= p.ChainDepth {
+		return d
+	}
+	return p.ChainDepth + (d-p.ChainDepth)*p.AddLatency
+}
+
+// HDNRunCycles returns the dedicated accumulator's cost: fully pipelined,
+// one product per cycle plus the tree drain.
+func (p PipelineModel) HDNRunCycles(d uint64) uint64 {
+	if d == 0 {
+		return 0
+	}
+	return d + log2ceil(d)
+}
+
+func log2ceil(v uint64) uint64 {
+	var l uint64
+	for (uint64(1) << l) < v {
+		l++
+	}
+	return l
+}
+
+// Step1Cost summarizes the modeled step-1 accumulation cycles.
+type Step1Cost struct {
+	// SinglePipeline is the cost with everything on the general
+	// pipeline.
+	SinglePipeline uint64
+	// DualGeneral and DualHDN are the per-pipeline costs under Bloom
+	// routing; the pipelines run concurrently.
+	DualGeneral, DualHDN uint64
+}
+
+// DualPipeline returns the dual configuration's makespan.
+func (c Step1Cost) DualPipeline() uint64 {
+	if c.DualGeneral > c.DualHDN {
+		return c.DualGeneral
+	}
+	return c.DualHDN
+}
+
+// Speedup returns single/dual.
+func (c Step1Cost) Speedup() float64 {
+	d := c.DualPipeline()
+	if d == 0 {
+		return 1
+	}
+	return float64(c.SinglePipeline) / float64(d)
+}
+
+// ModelStep1 walks the matrix row degrees and attributes each row's
+// accumulation to a pipeline according to the detector (Bloom false
+// positives land in the HDN pipeline, where they are harmless — §5.3).
+// A nil detector models the single-pipeline machine only.
+func (p PipelineModel) ModelStep1(m *matrix.COO, det *Detector) Step1Cost {
+	var c Step1Cost
+	for row, d := range m.RowDegrees() {
+		if d == 0 {
+			continue
+		}
+		c.SinglePipeline += p.GeneralRunCycles(d)
+		if det == nil {
+			continue
+		}
+		if det.IsHDN(uint64(row)) {
+			c.DualHDN += p.HDNRunCycles(d)
+		} else {
+			c.DualGeneral += p.GeneralRunCycles(d)
+		}
+	}
+	return c
+}

@@ -1,0 +1,94 @@
+package hdn
+
+import (
+	"testing"
+
+	"mwmerge/internal/graph"
+)
+
+func TestRunCostModels(t *testing.T) {
+	p := DefaultPipelineModel()
+	if p.GeneralRunCycles(0) != 0 || p.HDNRunCycles(0) != 0 {
+		t.Error("zero-length run must cost nothing")
+	}
+	// Short runs: both pipelines ~1 cycle/product.
+	if p.GeneralRunCycles(8) != 8 {
+		t.Errorf("in-chain run cost %d", p.GeneralRunCycles(8))
+	}
+	// Long runs: general pays AddLatency per extra product.
+	if got := p.GeneralRunCycles(10); got != 8+2*4 {
+		t.Errorf("long run cost %d, want 16", got)
+	}
+	// HDN accumulator: linear plus log drain.
+	if got := p.HDNRunCycles(1024); got != 1024+10 {
+		t.Errorf("HDN run cost %d, want 1034", got)
+	}
+	// Crossover: for long runs HDN must be much cheaper.
+	if p.HDNRunCycles(10000)*2 > p.GeneralRunCycles(10000) {
+		t.Error("HDN accumulator not faster on long runs")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[uint64]uint64{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for v, want := range cases {
+		if got := log2ceil(v); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestDualPipelineSpeedsUpPowerLaw(t *testing.T) {
+	m, err := graph.Zipf(8000, 16, 1.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threshold = 64
+	det, err := Build(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := DefaultPipelineModel().ModelStep1(m, det)
+	if cost.Speedup() < 1.5 {
+		t.Errorf("dual pipeline speedup %.2f on a Zipf graph, want >= 1.5", cost.Speedup())
+	}
+	// The dual makespan can never exceed single-pipeline cost plus the
+	// (tiny) tree-drain overhead.
+	if cost.DualPipeline() > cost.SinglePipeline {
+		t.Errorf("dual %d worse than single %d", cost.DualPipeline(), cost.SinglePipeline)
+	}
+}
+
+func TestDualPipelineNeutralOnUniform(t *testing.T) {
+	m, err := graph.ErdosRenyi(8000, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threshold = 1000 // nothing qualifies
+	det, err := Build(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := DefaultPipelineModel().ModelStep1(m, det)
+	// No HDNs: dual == single (within Bloom false-positive noise).
+	if cost.Speedup() > 1.05 || cost.Speedup() < 0.95 {
+		t.Errorf("uniform-graph speedup %.3f, want ~1", cost.Speedup())
+	}
+}
+
+func TestModelStep1NilDetector(t *testing.T) {
+	m := graph.Diagonal(100, 1)
+	cost := DefaultPipelineModel().ModelStep1(m, nil)
+	if cost.SinglePipeline != 100 {
+		t.Errorf("diagonal single cost %d, want 100", cost.SinglePipeline)
+	}
+	if cost.DualGeneral != 0 || cost.DualHDN != 0 {
+		t.Error("nil detector must not populate dual costs")
+	}
+	if cost.Speedup() != float64(cost.SinglePipeline)/1 && cost.DualPipeline() != 0 {
+		// Speedup with zero dual cost degenerates to 1 by definition.
+		t.Logf("speedup = %g", cost.Speedup())
+	}
+}

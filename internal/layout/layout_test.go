@@ -1,0 +1,114 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+)
+
+func TestBuilderMatchesPartition1D(t *testing.T) {
+	a, err := graph.ErdosRenyi(3000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const width = 512
+	want, err := matrix.Partition1D(a, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed the SAME edges in scrambled order.
+	entries := append([]matrix.Entry(nil), a.Entries...)
+	rng := rand.New(rand.NewSource(2))
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+
+	b, err := NewBuilder(a.Rows, a.Cols, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddAll(entries); err != nil {
+		t.Fatal(err)
+	}
+	got, cost, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d stripes, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if len(got[k].Entries) != len(want[k].Entries) {
+			t.Fatalf("stripe %d: %d entries, want %d", k, len(got[k].Entries), len(want[k].Entries))
+		}
+		for i := range want[k].Entries {
+			if got[k].Entries[i] != want[k].Entries[i] {
+				t.Fatalf("stripe %d entry %d differs", k, i)
+			}
+		}
+		if err := got[k].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cost.EdgesIn != uint64(a.NNZ()) {
+		t.Errorf("EdgesIn = %d", cost.EdgesIn)
+	}
+	if cost.Passes != 2 {
+		t.Errorf("Passes = %d", cost.Passes)
+	}
+	// One write + one read + one write = 3x edge bytes.
+	if cost.TotalBytes() != 3*uint64(a.NNZ())*edgeBytes {
+		t.Errorf("TotalBytes = %d", cost.TotalBytes())
+	}
+}
+
+func TestBuilderCoalescesDuplicates(t *testing.T) {
+	b, _ := NewBuilder(4, 4, 2)
+	for i := 0; i < 3; i++ {
+		if err := b.Add(1, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stripes, _, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripes[0].Entries) != 1 || stripes[0].Entries[0].Val != 6 {
+		t.Errorf("duplicates not coalesced: %v", stripes[0].Entries)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(0, 4, 2); err == nil {
+		t.Error("empty shape accepted")
+	}
+	if _, err := NewBuilder(4, 4, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	b, _ := NewBuilder(4, 4, 2)
+	if err := b.Add(5, 0, 1); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, _, err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(0, 0, 1); err == nil {
+		t.Error("Add after Finalize accepted")
+	}
+	if _, _, err := b.Finalize(); err == nil {
+		t.Error("double Finalize accepted")
+	}
+}
+
+func TestAmortizedShareShrinks(t *testing.T) {
+	c := BuildCost{BucketWriteBytes: 300, BucketReadBytes: 300, SortedWriteBytes: 300}
+	one := c.AmortizedShare(900, 1)
+	ten := c.AmortizedShare(900, 10)
+	if one != 1.0 || ten != 0.1 {
+		t.Errorf("amortization wrong: %g, %g", one, ten)
+	}
+	if c.AmortizedShare(0, 5) != 0 || c.AmortizedShare(100, 0) != 0 {
+		t.Error("degenerate amortization not zero")
+	}
+}

@@ -1,0 +1,79 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := randomCOO(t, 100, 80, 500, 31)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed")
+	}
+	for i := range m.Entries {
+		if m.Entries[i] != back.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestBinaryEmptyMatrix(t *testing.T) {
+	m, _ := NewCOO(5, 5, nil)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 {
+		t.Error("empty round trip produced entries")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTMAGIC........"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid magic, truncated header.
+	if _, err := ReadBinary(bytes.NewReader(binMagic[:])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated entries.
+	m := randomCOO(t, 10, 10, 20, 32)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated entries accepted")
+	}
+}
+
+func TestBinarySmallerThanMatrixMarket(t *testing.T) {
+	m := randomCOO(t, 1000, 1000, 5000, 33)
+	var bin, mm bytes.Buffer
+	if err := WriteBinary(&bin, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixMarket(&mm, m); err != nil {
+		t.Fatal(err)
+	}
+	// Binary with float64 values beats decimal text for random values.
+	if bin.Len() >= mm.Len() {
+		t.Errorf("binary %d bytes not below MatrixMarket %d", bin.Len(), mm.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package matrix
+
+import "fmt"
+
+// DCSR is the doubly compressed sparse row format of Buluc & Gilbert (the
+// hypersparse representation the paper cites in §3.1): only rows with at
+// least one nonzero are materialized, so space is O(nnz) with no O(N)
+// row-pointer array. RowIdx holds the indices of the non-empty rows;
+// RowPtr delimits their nonzeros.
+type DCSR struct {
+	Rows, Cols uint64
+	RowIdx     []uint64 // non-empty row indices, ascending
+	RowPtr     []uint64 // len(RowIdx)+1 offsets into ColIdx/Vals
+	ColIdx     []uint64
+	Vals       []float64
+}
+
+// NNZ returns the stored nonzero count.
+func (m *DCSR) NNZ() int { return len(m.ColIdx) }
+
+// NNZRows returns the number of non-empty rows.
+func (m *DCSR) NNZRows() int { return len(m.RowIdx) }
+
+// ToDCSR converts a row-major COO matrix.
+func ToDCSR(c *COO) *DCSR {
+	m := &DCSR{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		ColIdx: make([]uint64, len(c.Entries)),
+		Vals:   make([]float64, len(c.Entries)),
+	}
+	prevRow := uint64(0)
+	haveRow := false
+	for i, e := range c.Entries {
+		if !haveRow || e.Row != prevRow {
+			m.RowIdx = append(m.RowIdx, e.Row)
+			m.RowPtr = append(m.RowPtr, uint64(i))
+			prevRow, haveRow = e.Row, true
+		}
+		m.ColIdx[i] = e.Col
+		m.Vals[i] = e.Val
+	}
+	m.RowPtr = append(m.RowPtr, uint64(len(c.Entries)))
+	return m
+}
+
+// ToCOO converts back to row-major COO form.
+func (m *DCSR) ToCOO() (*COO, error) {
+	es := make([]Entry, 0, len(m.ColIdx))
+	for r := 0; r < len(m.RowIdx); r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			es = append(es, Entry{Row: m.RowIdx[r], Col: m.ColIdx[i], Val: m.Vals[i]})
+		}
+	}
+	return NewCOO(m.Rows, m.Cols, es)
+}
+
+// Validate checks the DCSR invariants.
+func (m *DCSR) Validate() error {
+	if len(m.RowPtr) != len(m.RowIdx)+1 {
+		return fmt.Errorf("matrix: DCSR rowptr length %d != nnzrows+1 %d", len(m.RowPtr), len(m.RowIdx)+1)
+	}
+	if len(m.RowIdx) > 0 && (m.RowPtr[0] != 0 || m.RowPtr[len(m.RowIdx)] != uint64(len(m.ColIdx))) {
+		return fmt.Errorf("matrix: DCSR rowptr endpoints invalid")
+	}
+	for r := 0; r < len(m.RowIdx); r++ {
+		if m.RowIdx[r] >= m.Rows {
+			return fmt.Errorf("matrix: DCSR row %d out of range", m.RowIdx[r])
+		}
+		if r > 0 && m.RowIdx[r-1] >= m.RowIdx[r] {
+			return fmt.Errorf("matrix: DCSR row indices not ascending at %d", r)
+		}
+		if m.RowPtr[r] >= m.RowPtr[r+1] {
+			return fmt.Errorf("matrix: DCSR empty or inverted row segment at %d", r)
+		}
+	}
+	for i, c := range m.ColIdx {
+		if c >= m.Cols {
+			return fmt.Errorf("matrix: DCSR column %d out of range at %d", c, i)
+		}
+	}
+	return nil
+}
+
+// MetaBytesDCSR returns the DCSR meta-data footprint: one row index and
+// one offset per non-empty row, one column index per nonzero. For
+// hypersparse stripes this is O(nnz), beating CSR's O(N).
+func MetaBytesDCSR(nnzRows, nnz uint64, idxBytes int) uint64 {
+	return 2*nnzRows*uint64(idxBytes) + nnz*uint64(idxBytes)
+}

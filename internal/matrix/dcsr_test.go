@@ -1,0 +1,86 @@
+package matrix
+
+import (
+	"testing"
+)
+
+func TestDCSRRoundTrip(t *testing.T) {
+	m := randomCOO(t, 40, 30, 120, 21)
+	d := ToDCSR(m)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ %d != %d", d.NNZ(), m.NNZ())
+	}
+	back, err := d.ToCOO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Entries {
+		if m.Entries[i] != back.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestDCSRHypersparseFootprint(t *testing.T) {
+	// 3 nonzeros in a 1M-row stripe: DCSR meta must be tiny, CSR huge.
+	m, err := NewCOO(1_000_000, 100, []Entry{
+		{Row: 5, Col: 1, Val: 1},
+		{Row: 999_999, Col: 2, Val: 1},
+		{Row: 999_999, Col: 3, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ToDCSR(m)
+	if d.NNZRows() != 2 {
+		t.Fatalf("NNZRows = %d", d.NNZRows())
+	}
+	dcsr := MetaBytesDCSR(uint64(d.NNZRows()), uint64(d.NNZ()), 8)
+	csr := MetaBytesCSR(m.Rows, uint64(m.NNZ()), 8)
+	if dcsr*1000 > csr {
+		t.Errorf("DCSR meta %d not << CSR meta %d", dcsr, csr)
+	}
+}
+
+func TestDCSREmptyMatrix(t *testing.T) {
+	m, err := NewCOO(10, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ToDCSR(m)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NNZ() != 0 || d.NNZRows() != 0 {
+		t.Errorf("empty DCSR has nnz=%d rows=%d", d.NNZ(), d.NNZRows())
+	}
+	back, err := d.ToCOO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 {
+		t.Error("empty round trip produced entries")
+	}
+}
+
+func TestDCSRValidateCatchesCorruption(t *testing.T) {
+	m := randomCOO(t, 20, 20, 50, 22)
+	d := ToDCSR(m)
+	d.RowIdx[0] = d.RowIdx[1] // break ascending order
+	if err := d.Validate(); err == nil {
+		t.Error("corrupted RowIdx accepted")
+	}
+	d = ToDCSR(m)
+	d.ColIdx[0] = 999
+	if err := d.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	d = ToDCSR(m)
+	d.RowPtr = d.RowPtr[:len(d.RowPtr)-1]
+	if err := d.Validate(); err == nil {
+		t.Error("truncated RowPtr accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	src := `# comment
+% another comment
+0 1
+1 2 3.5
+
+2 0
+`
+	m, err := ReadEdgeList(strings.NewReader(src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.NNZ() != 3 {
+		t.Fatalf("shape %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	// Weighted edge preserved, unweighted default 1.
+	found := false
+	for _, e := range m.Entries {
+		if e.Row == 1 && e.Col == 2 {
+			found = true
+			if e.Val != 3.5 {
+				t.Errorf("weight %g", e.Val)
+			}
+		} else if e.Val != 1 {
+			t.Errorf("default weight %g", e.Val)
+		}
+	}
+	if !found {
+		t.Error("weighted edge missing")
+	}
+}
+
+func TestReadEdgeListMinNodes(t *testing.T) {
+	m, err := ReadEdgeList(strings.NewReader("0 1\n"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 100 {
+		t.Errorf("minNodes ignored: %d rows", m.Rows)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	bad := []string{
+		"0\n",
+		"a b\n",
+		"0 b\n",
+		"0 1 x\n",
+		"",
+	}
+	for i, s := range bad {
+		if _, err := ReadEdgeList(strings.NewReader(s), 0); err == nil {
+			t.Errorf("case %d accepted: %q", i, s)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	m := randomCOO(t, 40, 40, 150, 51)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, m.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("nnz %d != %d", back.NNZ(), m.NNZ())
+	}
+	for i := range m.Entries {
+		if m.Entries[i] != back.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket must never panic on arbitrary text; valid inputs
+// must produce a matrix that validates.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n")
+	f.Add("garbage")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadMatrixMarket(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzReadBinary must never panic on arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	var good bytes.Buffer
+	m, _ := NewCOO(3, 3, []Entry{{Row: 1, Col: 2, Val: 4}})
+	_ = WriteBinary(&good, m)
+	f.Add(good.Bytes())
+	f.Add([]byte("MWMCOO1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzReadEdgeList must never panic and accepted graphs must validate.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 3.5\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadEdgeList(strings.NewReader(src), 0)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted edge list fails validation: %v", err)
+		}
+	})
+}

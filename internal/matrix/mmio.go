@@ -1,0 +1,134 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a reader/writer for the MatrixMarket coordinate
+// format — the interchange format of the University of Florida collection
+// the paper draws its CPU-comparison datasets from. Supported qualifiers:
+// real/integer/pattern x general/symmetric.
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream into RM-COO.
+// Pattern matrices get value 1 for every entry (unweighted graphs);
+// symmetric matrices are expanded to general form.
+func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) != 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("matrix: bad MatrixMarket header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("matrix: only coordinate format supported, got %q", header[2])
+	}
+	field, symmetry := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("matrix: unsupported field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("matrix: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read size line.
+	var rows, cols, nnz uint64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("matrix: bad size line %q", line)
+		}
+		var err error
+		if rows, err = strconv.ParseUint(f[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("matrix: bad row count: %w", err)
+		}
+		if cols, err = strconv.ParseUint(f[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("matrix: bad col count: %w", err)
+		}
+		if nnz, err = strconv.ParseUint(f[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("matrix: bad nnz count: %w", err)
+		}
+		break
+	}
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrShape, rows, cols)
+	}
+
+	entries := make([]Entry, 0, nnz)
+	read := uint64(0)
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("matrix: bad entry line %q", line)
+		}
+		ri, err := strconv.ParseUint(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: bad row index: %w", err)
+		}
+		ci, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: bad col index: %w", err)
+		}
+		if ri == 0 || ci == 0 || ri > rows || ci > cols {
+			return nil, fmt.Errorf("matrix: entry (%d,%d) outside 1-based %dx%d", ri, ci, rows, cols)
+		}
+		val := 1.0
+		if field != "pattern" {
+			if val, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, fmt.Errorf("matrix: bad value: %w", err)
+			}
+		}
+		e := Entry{Row: ri - 1, Col: ci - 1, Val: val}
+		entries = append(entries, e)
+		if symmetry == "symmetric" && e.Row != e.Col {
+			entries = append(entries, Entry{Row: e.Col, Col: e.Row, Val: e.Val})
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrix: reading MatrixMarket: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("matrix: expected %d entries, found %d", nnz, read)
+	}
+	return NewCOO(rows, cols, entries)
+}
+
+// WriteMatrixMarket emits m as a general real coordinate MatrixMarket
+// stream (1-based indices).
+func WriteMatrixMarket(w io.Writer, m *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		m.Rows, m.Cols, len(m.Entries)); err != nil {
+		return err
+	}
+	for _, e := range m.Entries {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Row+1, e.Col+1, e.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package mem
+
+import "fmt"
+
+// RowBufferSim models a multi-bank DRAM with open-page row buffers. It
+// exists to demonstrate the paper's §2.1 claim functionally: sequential
+// (streaming) access amortizes the row-activation cost to near zero,
+// while random access pays it on almost every touch — the asymmetry the
+// Two-Step algorithm trades compute for.
+type RowBufferSim struct {
+	cfg      RowBufferConfig
+	openRows []int64 // per bank; -1 = closed
+	stats    RowBufferStats
+}
+
+// RowBufferConfig describes the DRAM geometry and timing.
+type RowBufferConfig struct {
+	// Banks is the number of independent banks.
+	Banks int
+	// RowBytes is the row-buffer (page) size per bank.
+	RowBytes uint64
+	// ColumnCycles is the cost of a column access to an open row (tCL).
+	ColumnCycles uint64
+	// ActivateCycles is the extra cost of opening a row (tRP + tRCD).
+	ActivateCycles uint64
+}
+
+// DefaultRowBufferConfig returns an HBM-class geometry: 16 banks with
+// 2 KiB rows, 14-cycle column access, 28-cycle activation penalty.
+func DefaultRowBufferConfig() RowBufferConfig {
+	return RowBufferConfig{Banks: 16, RowBytes: 2 << 10, ColumnCycles: 14, ActivateCycles: 28}
+}
+
+// Validate checks the configuration.
+func (c RowBufferConfig) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("mem: bank count must be positive")
+	}
+	if c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("mem: row size %d not a power of two", c.RowBytes)
+	}
+	if c.ColumnCycles == 0 {
+		return fmt.Errorf("mem: column cycles must be positive")
+	}
+	return nil
+}
+
+// RowBufferStats counts accesses and row-buffer behaviour.
+type RowBufferStats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+	Cycles    uint64
+}
+
+// HitRate returns the row-buffer hit rate.
+func (s RowBufferStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// CyclesPerAccess returns the average access cost.
+func (s RowBufferStats) CyclesPerAccess() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Accesses)
+}
+
+// NewRowBufferSim builds a simulator.
+func NewRowBufferSim(cfg RowBufferConfig) (*RowBufferSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rows := make([]int64, cfg.Banks)
+	for i := range rows {
+		rows[i] = -1
+	}
+	return &RowBufferSim{cfg: cfg, openRows: rows}, nil
+}
+
+// Access touches one address. Banks interleave at row granularity
+// (address / RowBytes % Banks), the common DRAM mapping for streaming
+// workloads.
+func (d *RowBufferSim) Access(addr uint64) {
+	rowGlobal := addr / d.cfg.RowBytes
+	bank := int(rowGlobal % uint64(d.cfg.Banks))
+	row := int64(rowGlobal / uint64(d.cfg.Banks))
+	d.stats.Accesses++
+	d.stats.Cycles += d.cfg.ColumnCycles
+	if d.openRows[bank] == row {
+		d.stats.RowHits++
+		return
+	}
+	d.stats.RowMisses++
+	d.stats.Cycles += d.cfg.ActivateCycles
+	d.openRows[bank] = row
+}
+
+// Stream touches a contiguous byte range at the given access granularity.
+func (d *RowBufferSim) Stream(start, bytes, grain uint64) {
+	if grain == 0 {
+		grain = 64
+	}
+	for off := uint64(0); off < bytes; off += grain {
+		d.Access(start + off)
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (d *RowBufferSim) Stats() RowBufferStats { return d.stats }

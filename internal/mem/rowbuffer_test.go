@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRowBufferConfigValidate(t *testing.T) {
+	if err := DefaultRowBufferConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RowBufferConfig{
+		{Banks: 0, RowBytes: 2048, ColumnCycles: 14},
+		{Banks: 16, RowBytes: 1000, ColumnCycles: 14},
+		{Banks: 16, RowBytes: 2048, ColumnCycles: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestStreamingAmortizesActivations(t *testing.T) {
+	// The §2.1 claim: sequential access hits the open row almost always.
+	d, err := NewRowBufferSim(DefaultRowBufferConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Stream(0, 1<<20, 64)
+	st := d.Stats()
+	if st.HitRate() < 0.95 {
+		t.Errorf("streaming hit rate %.3f, want > 0.95", st.HitRate())
+	}
+	// One miss per row: 1 MiB / 2 KiB rows = 512 activations.
+	if st.RowMisses != 512 {
+		t.Errorf("streaming misses %d, want 512", st.RowMisses)
+	}
+}
+
+func TestRandomAccessPaysActivations(t *testing.T) {
+	d, _ := NewRowBufferSim(DefaultRowBufferConfig())
+	rng := rand.New(rand.NewSource(1))
+	const span = 1 << 30 // far beyond 16 open rows
+	for i := 0; i < 100000; i++ {
+		d.Access(uint64(rng.Intn(span)))
+	}
+	st := d.Stats()
+	if st.HitRate() > 0.05 {
+		t.Errorf("random hit rate %.3f, want ~0", st.HitRate())
+	}
+	// Average cost approaches column + activate.
+	cfg := DefaultRowBufferConfig()
+	want := float64(cfg.ColumnCycles + cfg.ActivateCycles)
+	if got := st.CyclesPerAccess(); got < 0.9*want {
+		t.Errorf("random cycles/access %.1f, want ~%.0f", got, want)
+	}
+}
+
+func TestStreamingVsRandomAsymmetry(t *testing.T) {
+	// The asymmetry Two-Step exploits: per-access cost of streaming is a
+	// fraction of random.
+	stream, _ := NewRowBufferSim(DefaultRowBufferConfig())
+	stream.Stream(0, 4<<20, 64)
+	random, _ := NewRowBufferSim(DefaultRowBufferConfig())
+	rng := rand.New(rand.NewSource(2))
+	for i := uint64(0); i < stream.Stats().Accesses; i++ {
+		random.Access(uint64(rng.Intn(1 << 30)))
+	}
+	sc := stream.Stats().CyclesPerAccess()
+	rc := random.Stats().CyclesPerAccess()
+	if rc < 2*sc {
+		t.Errorf("random %.1f cycles/access not >> streaming %.1f", rc, sc)
+	}
+}
+
+func TestStreamDefaultsGrain(t *testing.T) {
+	d, _ := NewRowBufferSim(DefaultRowBufferConfig())
+	d.Stream(0, 640, 0) // grain defaults to 64
+	if d.Stats().Accesses != 10 {
+		t.Errorf("accesses = %d, want 10", d.Stats().Accesses)
+	}
+}
+
+func TestBankInterleavingKeepsRowsOpen(t *testing.T) {
+	// Two interleaved streams in different banks must not thrash each
+	// other's row buffers.
+	cfg := DefaultRowBufferConfig()
+	d, _ := NewRowBufferSim(cfg)
+	// Stream A at 0, stream B at one row offset (different bank).
+	a, b := uint64(0), cfg.RowBytes
+	for i := uint64(0); i < cfg.RowBytes; i += 64 {
+		d.Access(a + i)
+		d.Access(b + i)
+	}
+	st := d.Stats()
+	if st.RowMisses != 2 {
+		t.Errorf("interleaved streams caused %d activations, want 2", st.RowMisses)
+	}
+}

@@ -1,0 +1,120 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+// TestMergeFromCompressedStreams places the VLDI stream decoder directly
+// in front of the merge network — the hardware arrangement where
+// intermediate vectors stream from DRAM compressed and decode on the fly
+// — and checks the result against merging the uncompressed lists.
+func TestMergeFromCompressedStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	codec, err := vldi.NewCodec(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 5000
+	var plain [][]types.Record
+	var compressed []vldi.CompressedVec
+	for li := 0; li < 6; li++ {
+		s := vector.NewSparse(dim, 0)
+		for k := uint64(0); k < dim; k++ {
+			if rng.Float64() < 0.1 {
+				if err := s.Append(types.Record{Key: k, Val: rng.NormFloat64()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		plain = append(plain, s.Recs)
+		cv, err := codec.CompressSparse(s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compressed = append(compressed, cv)
+	}
+
+	want := MergeAccumulate(plain)
+
+	sources := make([]Source, len(compressed))
+	decoders := make([]*vldi.StreamDecoder, len(compressed))
+	for i, cv := range compressed {
+		d := codec.NewStreamDecoder(cv)
+		decoders[i] = d
+		sources[i] = d
+	}
+	acc := NewAccumulator(NewMerged(sources))
+	var got []types.Record
+	for {
+		r, ok := acc.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	for _, d := range decoders {
+		if d.Err() != nil {
+			t.Fatalf("stream decoder error: %v", d.Err())
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCoreFromCompressedStreams runs the cycle-modeled merge core over
+// decoder sources.
+func TestCoreFromCompressedStreams(t *testing.T) {
+	codec, _ := vldi.NewCodec(6)
+	rng := rand.New(rand.NewSource(2))
+	sources := make([]Source, 4)
+	total := 0
+	for i := range sources {
+		s := vector.NewSparse(2000, 0)
+		for k := uint64(0); k < 2000; k++ {
+			if rng.Float64() < 0.2 {
+				if err := s.Append(types.Record{Key: k, Val: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		total += s.NNZ()
+		cv, err := codec.CompressSparse(s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = codec.NewStreamDecoder(cv)
+	}
+	c, err := NewCore(DefaultCoreConfig(4), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var prev uint64
+	st, err := c.Run(func(r types.Record) {
+		if count > 0 && r.Key < prev {
+			t.Fatalf("out of order at %d", count)
+		}
+		prev = r.Key
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != total {
+		t.Errorf("emitted %d of %d records", count, total)
+	}
+	if st.Emitted != uint64(total) {
+		t.Errorf("stats emitted %d", st.Emitted)
+	}
+}

@@ -1,0 +1,270 @@
+package merge
+
+import (
+	"fmt"
+
+	"mwmerge/internal/types"
+)
+
+// CoreConfig parameterizes a Merge Core (MC): a K-way binary-tree merge
+// network with per-stage FIFO buffers packed into SRAM blocks (paper Fig.
+// 6). In the fabricated ASIC K = 2048; the FPGA design points use K = 64
+// and K = 32.
+type CoreConfig struct {
+	// Ways is K, the number of input lists. Must be a power of two >= 2.
+	Ways int
+	// FIFODepth is the capacity of each pipeline FIFO in records.
+	FIFODepth int
+	// RecordBytes is the width of one record in the SRAM blocks.
+	RecordBytes int
+	// FillPerCycle bounds how many records the leaf stage can accept per
+	// cycle from the prefetch buffer (the DRAM interface width in
+	// records). Zero means unbounded.
+	FillPerCycle int
+}
+
+// DefaultCoreConfig returns a workable configuration for K ways.
+func DefaultCoreConfig(ways int) CoreConfig {
+	return CoreConfig{Ways: ways, FIFODepth: 4, RecordBytes: types.RecordBytes, FillPerCycle: 16}
+}
+
+// CoreStats reports the cycle-level behaviour of one merge run.
+type CoreStats struct {
+	Cycles       uint64 // total simulated cycles
+	Emitted      uint64 // records produced at the root
+	OutputStalls uint64 // cycles with an empty root FIFO
+	LeafRefills  uint64 // records accepted into leaf FIFOs
+}
+
+// CyclesPerRecord returns the average cycles per output record.
+func (s CoreStats) CyclesPerRecord() float64 {
+	if s.Emitted == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Emitted)
+}
+
+type coreFIFO struct {
+	q    []types.Record
+	head int
+	done bool // no more records will ever arrive
+	cap  int
+}
+
+func (f *coreFIFO) len() int    { return len(f.q) - f.head }
+func (f *coreFIFO) full() bool  { return f.len() >= f.cap }
+func (f *coreFIFO) empty() bool { return f.len() == 0 }
+
+func (f *coreFIFO) push(r types.Record) { f.q = append(f.q, r) }
+
+func (f *coreFIFO) peek() types.Record { return f.q[f.head] }
+
+func (f *coreFIFO) pop() types.Record {
+	r := f.q[f.head]
+	f.head++
+	if f.head > 64 && f.head*2 > len(f.q) {
+		f.q = append(f.q[:0], f.q[f.head:]...)
+		f.head = 0
+	}
+	return r
+}
+
+// Core is a cycle-approximate model of one K-way Merge Core. Records flow
+// from per-list leaf FIFOs through log2(K) sorter-cell stages to a root
+// FIFO; each stage activates one sorter cell per cycle (the SRAM blocks
+// are single-ported), which is what limits a single MC to one output
+// record per cycle and motivates PRaP parallelization.
+type Core struct {
+	cfg     CoreConfig
+	stages  [][]*coreFIFO // stages[0] = K leaf FIFOs ... stages[depth] = root
+	sources []Source
+	stats   CoreStats
+}
+
+// NewCore builds a merge core over the given sources. len(sources) must
+// not exceed cfg.Ways; missing lists are treated as empty.
+func NewCore(cfg CoreConfig, sources []Source) (*Core, error) {
+	if cfg.Ways < 2 || cfg.Ways&(cfg.Ways-1) != 0 {
+		return nil, fmt.Errorf("merge: ways %d not a power of two >= 2", cfg.Ways)
+	}
+	if len(sources) > cfg.Ways {
+		return nil, fmt.Errorf("merge: %d sources exceed %d ways", len(sources), cfg.Ways)
+	}
+	if cfg.FIFODepth < 1 {
+		return nil, fmt.Errorf("merge: FIFO depth must be positive")
+	}
+	c := &Core{cfg: cfg, sources: make([]Source, cfg.Ways)}
+	copy(c.sources, sources)
+	for n := cfg.Ways; n >= 1; n >>= 1 {
+		stage := make([]*coreFIFO, n)
+		for i := range stage {
+			stage[i] = &coreFIFO{cap: cfg.FIFODepth}
+		}
+		c.stages = append(c.stages, stage)
+	}
+	// Lists beyond len(sources) are permanently exhausted.
+	for i := len(sources); i < cfg.Ways; i++ {
+		c.stages[0][i].done = true
+	}
+	for i, s := range sources {
+		if s == nil {
+			c.stages[0][i].done = true
+			c.sources[i] = nil
+		}
+	}
+	return c, nil
+}
+
+// Depth returns the number of sorter-cell stages, log2(K).
+func (c *Core) Depth() int { return len(c.stages) - 1 }
+
+// BufferBytes returns the SRAM footprint of all pipeline FIFOs — the
+// storage that register-based FIFOs would make impractical at large K.
+func (c *Core) BufferBytes() uint64 {
+	var total uint64
+	for _, stage := range c.stages {
+		total += uint64(len(stage)) * uint64(c.cfg.FIFODepth) * uint64(c.cfg.RecordBytes)
+	}
+	return total
+}
+
+// Stats returns the accumulated cycle statistics.
+func (c *Core) Stats() CoreStats { return c.stats }
+
+// Step advances the model one clock cycle with an externally granted
+// leaf-refill budget (records the DRAM interface may deliver to this core
+// this cycle; negative means "use the configured FillPerCycle"). It
+// returns the emitted record, whether one was emitted, and how much of
+// the budget was consumed. Exposing the clock lets a system simulator run
+// several cores lock-step against a shared memory interface.
+func (c *Core) Step(refillBudget int) (rec types.Record, emitted bool, used int) {
+	c.stats.Cycles++
+	root := c.stages[len(c.stages)-1][0]
+	if !root.empty() {
+		rec = root.pop()
+		emitted = true
+		c.stats.Emitted++
+	} else if !root.done {
+		c.stats.OutputStalls++
+	}
+
+	// One sorter-cell activation per merge stage per cycle. Stage s > 0
+	// cell f merges stage s-1 FIFOs 2f and 2f+1.
+	for s := 1; s < len(c.stages); s++ {
+		cur, prev := c.stages[s], c.stages[s-1]
+		best := -1
+		bestOcc := 0
+		for f := range cur {
+			dst := cur[f]
+			if dst.done || dst.full() {
+				continue
+			}
+			a, b := prev[2*f], prev[2*f+1]
+			if a.empty() && a.done && b.empty() && b.done {
+				dst.done = true
+				continue
+			}
+			// A cell is ready when it can decide the minimum: every
+			// non-exhausted child must be non-empty.
+			if (a.empty() && !a.done) || (b.empty() && !b.done) {
+				continue
+			}
+			if a.empty() && b.empty() {
+				continue
+			}
+			if best == -1 || dst.len() < bestOcc {
+				best, bestOcc = f, dst.len()
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		dst := cur[best]
+		a, b := prev[2*best], prev[2*best+1]
+		switch {
+		case a.empty():
+			dst.push(b.pop())
+		case b.empty():
+			dst.push(a.pop())
+		case b.peek().Key < a.peek().Key:
+			dst.push(b.pop())
+		default:
+			dst.push(a.pop()) // ties go to the lower-index list: stable
+		}
+	}
+
+	// Leaf refill from sources, bounded by the granted DRAM interface
+	// share.
+	budget := refillBudget
+	if budget < 0 {
+		budget = c.cfg.FillPerCycle
+		if budget <= 0 {
+			budget = c.cfg.Ways
+		}
+	}
+	for i, leaf := range c.stages[0] {
+		if budget == 0 {
+			break
+		}
+		if leaf.done || leaf.full() {
+			continue
+		}
+		r, ok := c.sources[i].Next()
+		if !ok {
+			leaf.done = true
+			continue
+		}
+		leaf.push(r)
+		c.stats.LeafRefills++
+		budget--
+		used++
+	}
+	return rec, emitted, used
+}
+
+// Done reports whether every FIFO has drained.
+func (c *Core) Done() bool { return c.drained() }
+
+// drained reports whether every FIFO is empty and done.
+func (c *Core) drained() bool {
+	for _, stage := range c.stages {
+		for _, f := range stage {
+			if !f.empty() || !f.done {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run merges all inputs to completion, invoking emit for every output
+// record in ascending key order, and returns the cycle statistics.
+func (c *Core) Run(emit func(types.Record)) (CoreStats, error) {
+	// Guard against configuration deadlock with a generous cycle bound,
+	// computable only when every source has a known length.
+	var total, limit uint64
+	sized := true
+	for _, s := range c.sources {
+		if s == nil {
+			continue
+		}
+		ss, ok := s.(*SliceSource)
+		if !ok {
+			sized = false
+			break
+		}
+		total += uint64(ss.Remaining())
+	}
+	if sized {
+		limit = (total + 1024) * uint64(c.Depth()+2) * 8
+	}
+	for !c.drained() {
+		if limit > 0 && c.stats.Cycles > limit {
+			return c.stats, fmt.Errorf("merge: core exceeded %d cycles; likely deadlock", limit)
+		}
+		if rec, ok, _ := c.Step(-1); ok && emit != nil {
+			emit(rec)
+		}
+	}
+	return c.stats, nil
+}

@@ -1,0 +1,59 @@
+package merge
+
+// This file models the hardware cost trade-off that motivates Fig. 6's
+// SRAM-block-packed FIFOs: a register-based FIFO costs roughly one
+// flip-flop per bit plus mux logic per entry, which grows untenable as
+// the tree width K (and hence FIFO count, 2K-1) scales to thousands; a
+// packed SRAM macro amortizes that to ~1 transistor-equivalent per bit
+// plus a fixed controller.
+
+// FIFOCostModel holds area coefficients in gate-equivalents (GE).
+type FIFOCostModel struct {
+	// RegisterGEPerBit is the area of one register-FIFO bit (flip-flop
+	// + mux share).
+	RegisterGEPerBit float64
+	// SRAMGEPerBit is the effective area of one SRAM bit.
+	SRAMGEPerBit float64
+	// SRAMControllerGE is the fixed per-block controller overhead.
+	SRAMControllerGE float64
+}
+
+// DefaultFIFOCostModel returns typical 16nm standard-cell coefficients:
+// a flip-flop plus muxing ≈ 10 GE/bit, SRAM ≈ 0.6 GE/bit, ~5k GE per
+// SRAM macro controller.
+func DefaultFIFOCostModel() FIFOCostModel {
+	return FIFOCostModel{RegisterGEPerBit: 10, SRAMGEPerBit: 0.6, SRAMControllerGE: 5000}
+}
+
+// fifoCount returns the number of pipeline FIFOs of a K-way tree:
+// K leaves + K/2 + ... + 1 = 2K - 1.
+func fifoCount(ways int) int { return 2*ways - 1 }
+
+// RegisterFIFOCost returns the gate-equivalent area of building every
+// pipeline FIFO of a K-way merge tree out of registers.
+func (m FIFOCostModel) RegisterFIFOCost(ways, fifoDepth, recordBytes int) float64 {
+	bits := float64(fifoCount(ways)) * float64(fifoDepth) * float64(recordBytes) * 8
+	return bits * m.RegisterGEPerBit
+}
+
+// SRAMFIFOCost returns the area of the packed-SRAM alternative: one SRAM
+// block per tree stage (log2(K)+1 stages) holding that stage's FIFOs.
+func (m FIFOCostModel) SRAMFIFOCost(ways, fifoDepth, recordBytes int) float64 {
+	stages := 1
+	for w := ways; w > 1; w >>= 1 {
+		stages++
+	}
+	bits := float64(fifoCount(ways)) * float64(fifoDepth) * float64(recordBytes) * 8
+	return bits*m.SRAMGEPerBit + float64(stages)*m.SRAMControllerGE
+}
+
+// SRAMAdvantage returns register/SRAM area ratio for the given tree; the
+// larger K grows, the more decisively packed SRAM wins — the Fig. 6
+// design choice.
+func (m FIFOCostModel) SRAMAdvantage(ways, fifoDepth, recordBytes int) float64 {
+	s := m.SRAMFIFOCost(ways, fifoDepth, recordBytes)
+	if s == 0 {
+		return 0
+	}
+	return m.RegisterFIFOCost(ways, fifoDepth, recordBytes) / s
+}

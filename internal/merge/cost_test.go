@@ -1,0 +1,49 @@
+package merge
+
+import "testing"
+
+func TestFIFOCount(t *testing.T) {
+	if fifoCount(2) != 3 || fifoCount(8) != 15 || fifoCount(2048) != 4095 {
+		t.Error("fifo count wrong")
+	}
+}
+
+func TestSRAMWinsAtScale(t *testing.T) {
+	m := DefaultFIFOCostModel()
+	// At small K the fixed SRAM controllers can erode the advantage; at
+	// the ASIC's K=2048 registers must be an order of magnitude worse.
+	adv2048 := m.SRAMAdvantage(2048, 4, 16)
+	if adv2048 < 10 {
+		t.Errorf("SRAM advantage at K=2048 is %.1fx, want >= 10x", adv2048)
+	}
+	// Advantage grows monotonically with K.
+	prev := 0.0
+	for _, k := range []int{4, 16, 64, 256, 1024, 4096} {
+		adv := m.SRAMAdvantage(k, 4, 16)
+		if adv < prev {
+			t.Errorf("advantage shrank at K=%d: %.2f < %.2f", k, adv, prev)
+		}
+		prev = adv
+	}
+}
+
+func TestCostsScaleLinearlyInDepth(t *testing.T) {
+	m := DefaultFIFOCostModel()
+	r1 := m.RegisterFIFOCost(64, 4, 16)
+	r2 := m.RegisterFIFOCost(64, 8, 16)
+	if r2 != 2*r1 {
+		t.Errorf("register cost not linear in depth: %g vs %g", r2, 2*r1)
+	}
+	s1 := m.SRAMFIFOCost(64, 4, 16)
+	s2 := m.SRAMFIFOCost(64, 8, 16)
+	if s2 >= 2*s1 {
+		t.Errorf("SRAM cost should sublinearly double (fixed controllers): %g vs %g", s2, 2*s1)
+	}
+}
+
+func TestSRAMAdvantageZeroGuard(t *testing.T) {
+	m := FIFOCostModel{}
+	if m.SRAMAdvantage(8, 4, 16) != 0 {
+		t.Error("zero-cost model should report 0")
+	}
+}

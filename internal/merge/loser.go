@@ -1,0 +1,122 @@
+package merge
+
+import (
+	"mwmerge/internal/types"
+)
+
+// LoserTreeMerged is a true tournament loser tree over K sources: an
+// array-embedded binary tree whose internal nodes store the loser of each
+// match and whose root path replay costs exactly ceil(log2 K) comparisons
+// per output — the software analogue of the hardware merge tree, and the
+// classic external-sorting structure. (Merged, by contrast, is a binary
+// heap kept as an independent reference implementation.)
+type LoserTreeMerged struct {
+	k      int
+	losers []int          // internal nodes: source index of the match loser
+	heads  []types.Record // current head record per source
+	done   []bool         // source exhausted
+	src    []Source
+	winner int
+	primed bool
+}
+
+// NewLoserTree builds a loser tree over the sources (nil sources count as
+// exhausted).
+func NewLoserTree(sources []Source) *LoserTreeMerged {
+	k := len(sources)
+	if k == 0 {
+		k = 1
+	}
+	t := &LoserTreeMerged{
+		k:      k,
+		losers: make([]int, k),
+		heads:  make([]types.Record, k),
+		done:   make([]bool, k),
+		src:    make([]Source, k),
+	}
+	copy(t.src, sources)
+	for i := range t.src {
+		if t.src[i] == nil {
+			t.done[i] = true
+			continue
+		}
+		if rec, ok := t.src[i].Next(); ok {
+			t.heads[i] = rec
+		} else {
+			t.done[i] = true
+		}
+	}
+	t.build()
+	return t
+}
+
+// less orders live sources by (key, index) — index tiebreak keeps the
+// merge stable with respect to source order.
+func (t *LoserTreeMerged) less(a, b int) bool {
+	if t.done[a] != t.done[b] {
+		return !t.done[a] // exhausted sources always lose
+	}
+	if t.done[a] {
+		return a < b
+	}
+	if t.heads[a].Key != t.heads[b].Key {
+		return t.heads[a].Key < t.heads[b].Key
+	}
+	return a < b
+}
+
+// build runs the initial tournament.
+func (t *LoserTreeMerged) build() {
+	for i := range t.losers {
+		t.losers[i] = -1
+	}
+	for s := 0; s < t.k; s++ {
+		t.replay(s)
+	}
+	t.primed = true
+}
+
+// replay pushes source s up from its leaf, recording losers, until it
+// loses or reaches the root.
+func (t *LoserTreeMerged) replay(s int) {
+	winner := s
+	node := (s + t.k) / 2
+	for node > 0 {
+		if t.losers[node] == -1 {
+			// Empty slot: park here and stop.
+			t.losers[node] = winner
+			return
+		}
+		if t.less(t.losers[node], winner) {
+			winner, t.losers[node] = t.losers[node], winner
+		}
+		node /= 2
+	}
+	t.winner = winner
+}
+
+// Next implements Source: emit the overall winner, advance its source,
+// and replay its path.
+func (t *LoserTreeMerged) Next() (types.Record, bool) {
+	if !t.primed || t.done[t.winner] {
+		return types.Record{}, false
+	}
+	w := t.winner
+	out := t.heads[w]
+	if rec, ok := t.src[w].Next(); ok {
+		t.heads[w] = rec
+	} else {
+		t.done[w] = true
+	}
+	// Replay from the winner's leaf to the root.
+	winner := w
+	node := (w + t.k) / 2
+	for node > 0 {
+		if t.losers[node] != -1 && t.less(t.losers[node], winner) {
+			winner, t.losers[node] = t.losers[node], winner
+		}
+		node /= 2
+	}
+	t.winner = winner
+	return out, true
+}

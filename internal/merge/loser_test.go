@@ -1,0 +1,137 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mwmerge/internal/types"
+)
+
+func drain(s Source) []types.Record {
+	var out []types.Record
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestLoserTreeMatchesHeapMerger(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		lists := randomSortedLists(rng, 1+rng.Intn(17), 60, 80)
+		mkSources := func() []Source {
+			ss := make([]Source, len(lists))
+			for i, l := range lists {
+				ss[i] = NewSliceSource(l)
+			}
+			return ss
+		}
+		want := drain(NewMerged(mkSources()))
+		got := drain(NewLoserTree(mkSources()))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d records", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d record %d: loser tree %v vs heap %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLoserTreeStability(t *testing.T) {
+	// Equal keys come out in source order — both mergers must agree.
+	a := []types.Record{{Key: 5, Val: 1}, {Key: 9, Val: 10}}
+	b := []types.Record{{Key: 5, Val: 2}}
+	c := []types.Record{{Key: 5, Val: 3}, {Key: 9, Val: 30}}
+	lt := NewLoserTree([]Source{NewSliceSource(a), NewSliceSource(b), NewSliceSource(c)})
+	out := drain(lt)
+	wantVals := []float64{1, 2, 3, 10, 30}
+	for i, v := range wantVals {
+		if out[i].Val != v {
+			t.Fatalf("stability broken: %v", out)
+		}
+	}
+}
+
+func TestLoserTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lists := randomSortedLists(rng, 1+rng.Intn(9), 30, 40)
+		mk := func() []Source {
+			ss := make([]Source, len(lists))
+			for i, l := range lists {
+				ss[i] = NewSliceSource(l)
+			}
+			return ss
+		}
+		want := drain(NewMerged(mk()))
+		got := drain(NewLoserTree(mk()))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoserTreeEdgeCases(t *testing.T) {
+	// No sources.
+	if out := drain(NewLoserTree(nil)); len(out) != 0 {
+		t.Error("empty tree yielded records")
+	}
+	// All nil sources.
+	if out := drain(NewLoserTree([]Source{nil, nil})); len(out) != 0 {
+		t.Error("nil sources yielded records")
+	}
+	// Single source passes through.
+	l := []types.Record{{Key: 1}, {Key: 2}, {Key: 3}}
+	out := drain(NewLoserTree([]Source{NewSliceSource(l)}))
+	if len(out) != 3 || out[2].Key != 3 {
+		t.Errorf("single-source passthrough broken: %v", out)
+	}
+	// Non-power-of-two source count.
+	lists := [][]types.Record{{{Key: 3}}, {{Key: 1}}, {{Key: 2}}}
+	ss := make([]Source, 3)
+	for i, li := range lists {
+		ss[i] = NewSliceSource(li)
+	}
+	out = drain(NewLoserTree(ss))
+	if len(out) != 3 || out[0].Key != 1 || out[1].Key != 2 || out[2].Key != 3 {
+		t.Errorf("3-way merge broken: %v", out)
+	}
+}
+
+func BenchmarkMergersHeapVsLoserTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	lists := randomSortedLists(rng, 64, 2000, 1<<20)
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ss := make([]Source, len(lists))
+			for j, l := range lists {
+				ss[j] = NewSliceSource(l)
+			}
+			drain(NewMerged(ss))
+		}
+	})
+	b.Run("losertree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ss := make([]Source, len(lists))
+			for j, l := range lists {
+				ss[j] = NewSliceSource(l)
+			}
+			drain(NewLoserTree(ss))
+		}
+	})
+}

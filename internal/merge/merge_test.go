@@ -1,0 +1,321 @@
+package merge
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mwmerge/internal/types"
+)
+
+// randomSortedLists builds n sorted record lists with random lengths.
+func randomSortedLists(rng *rand.Rand, n, maxLen int, keySpace uint64) [][]types.Record {
+	lists := make([][]types.Record, n)
+	for i := range lists {
+		l := rng.Intn(maxLen + 1)
+		keys := make([]uint64, l)
+		for j := range keys {
+			keys[j] = rng.Uint64() % keySpace
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		recs := make([]types.Record, l)
+		for j, k := range keys {
+			recs[j] = types.Record{Key: k, Val: rng.Float64()}
+		}
+		lists[i] = recs
+	}
+	return lists
+}
+
+// oracleAccumulate flattens, sorts and sums by key.
+func oracleAccumulate(lists [][]types.Record) []types.Record {
+	acc := map[uint64]float64{}
+	for _, l := range lists {
+		for _, r := range l {
+			acc[r.Key] += r.Val
+		}
+	}
+	keys := make([]uint64, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]types.Record, len(keys))
+	for i, k := range keys {
+		out[i] = types.Record{Key: k, Val: acc[k]}
+	}
+	return out
+}
+
+func recordsEqual(a, b []types.Record, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			return false
+		}
+		d := a[i].Val - b[i].Val
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]types.Record{{Key: 1}, {Key: 2}})
+	if s.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	r, ok := s.Next()
+	if !ok || r.Key != 1 {
+		t.Fatalf("Next = %v %v", r, ok)
+	}
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted source still yields")
+	}
+}
+
+func TestMergedProducesSortedUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lists := randomSortedLists(rng, 7, 40, 100)
+	var total int
+	sources := make([]Source, len(lists))
+	for i, l := range lists {
+		sources[i] = NewSliceSource(l)
+		total += len(l)
+	}
+	m := NewMerged(sources)
+	var out []types.Record
+	for {
+		r, ok := m.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if len(out) != total {
+		t.Fatalf("merged %d records, want %d", len(out), total)
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Key < out[j].Key }) {
+		t.Error("merged output not sorted")
+	}
+}
+
+func TestMergedStableAcrossSources(t *testing.T) {
+	// Equal keys must come out in source order.
+	a := []types.Record{{Key: 5, Val: 1}}
+	b := []types.Record{{Key: 5, Val: 2}}
+	m := NewMerged([]Source{NewSliceSource(a), NewSliceSource(b)})
+	r1, _ := m.Next()
+	r2, _ := m.Next()
+	if r1.Val != 1 || r2.Val != 2 {
+		t.Errorf("tie broken against source order: %v %v", r1, r2)
+	}
+}
+
+func TestAccumulatorSumsDuplicates(t *testing.T) {
+	in := NewSliceSource([]types.Record{
+		{Key: 1, Val: 1}, {Key: 1, Val: 2}, {Key: 3, Val: 5}, {Key: 3, Val: -5}, {Key: 4, Val: 1},
+	})
+	acc := NewAccumulator(in)
+	var out []types.Record
+	for {
+		r, ok := acc.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	want := []types.Record{{Key: 1, Val: 3}, {Key: 3, Val: 0}, {Key: 4, Val: 1}}
+	if !recordsEqual(out, want, 0) {
+		t.Errorf("got %v, want %v", out, want)
+	}
+}
+
+func TestMergeAccumulateMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		lists := randomSortedLists(rng, 1+rng.Intn(16), 60, 50)
+		got := MergeAccumulate(lists)
+		want := oracleAccumulate(lists)
+		if !recordsEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: mismatch (got %d, want %d records)", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestMergeAccumulateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lists := randomSortedLists(rng, 1+rng.Intn(8), 30, 20)
+		return recordsEqual(MergeAccumulate(lists), oracleAccumulate(lists), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAccumulateEmpty(t *testing.T) {
+	if out := MergeAccumulate(nil); len(out) != 0 {
+		t.Error("empty merge produced records")
+	}
+	if out := MergeAccumulate([][]types.Record{{}, {}}); len(out) != 0 {
+		t.Error("all-empty merge produced records")
+	}
+}
+
+func TestCoreConfigValidation(t *testing.T) {
+	if _, err := NewCore(CoreConfig{Ways: 3, FIFODepth: 2}, nil); err == nil {
+		t.Error("non-power-of-two ways accepted")
+	}
+	if _, err := NewCore(CoreConfig{Ways: 4, FIFODepth: 0}, nil); err == nil {
+		t.Error("zero FIFO depth accepted")
+	}
+	srcs := make([]Source, 5)
+	if _, err := NewCore(CoreConfig{Ways: 4, FIFODepth: 1}, srcs); err == nil {
+		t.Error("too many sources accepted")
+	}
+}
+
+func TestCoreMergesCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, ways := range []int{2, 4, 8, 16} {
+		lists := randomSortedLists(rng, ways, 50, 200)
+		sources := make([]Source, ways)
+		for i, l := range lists {
+			sources[i] = NewSliceSource(l)
+		}
+		cfg := DefaultCoreConfig(ways)
+		c, err := NewCore(cfg, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []types.Record
+		st, err := c.Run(func(r types.Record) { out = append(out, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The core emits the sorted union (no accumulation inside the
+		// tree itself); compare against a flat sort.
+		var want []types.Record
+		for _, l := range lists {
+			want = append(want, l...)
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		if len(out) != len(want) {
+			t.Fatalf("ways %d: emitted %d, want %d", ways, len(out), len(want))
+		}
+		for i := range out {
+			if out[i].Key != want[i].Key {
+				t.Fatalf("ways %d: key order differs at %d", ways, i)
+			}
+		}
+		if st.Emitted != uint64(len(want)) {
+			t.Errorf("stats emitted %d, want %d", st.Emitted, len(want))
+		}
+	}
+}
+
+func TestCorePartialSources(t *testing.T) {
+	// Fewer sources than ways, including nil entries.
+	lists := [][]types.Record{
+		{{Key: 1, Val: 1}, {Key: 5, Val: 2}},
+		nil,
+		{{Key: 2, Val: 3}},
+	}
+	sources := []Source{NewSliceSource(lists[0]), nil, NewSliceSource(lists[2])}
+	c, err := NewCore(DefaultCoreConfig(8), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []types.Record
+	if _, err := c.Run(func(r types.Record) { out = append(out, r) }); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []uint64{1, 2, 5}
+	if len(out) != 3 {
+		t.Fatalf("emitted %d records", len(out))
+	}
+	for i, k := range wantKeys {
+		if out[i].Key != k {
+			t.Fatalf("got %v", out)
+		}
+	}
+}
+
+func TestCoreThroughputApproachesOnePerCycle(t *testing.T) {
+	// In steady state a merge core emits ~1 record per cycle; with
+	// plentiful input the average must stay below 2 cycles/record.
+	rng := rand.New(rand.NewSource(4))
+	ways := 16
+	lists := make([][]types.Record, ways)
+	for i := range lists {
+		keys := make([]uint64, 2000)
+		for j := range keys {
+			keys[j] = rng.Uint64() % 1_000_000
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		recs := make([]types.Record, len(keys))
+		for j, k := range keys {
+			recs[j] = types.Record{Key: k, Val: 1}
+		}
+		lists[i] = recs
+	}
+	sources := make([]Source, ways)
+	for i, l := range lists {
+		sources[i] = NewSliceSource(l)
+	}
+	cfg := CoreConfig{Ways: ways, FIFODepth: 8, RecordBytes: 16, FillPerCycle: 32}
+	c, _ := NewCore(cfg, sources)
+	st, err := c.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpr := st.CyclesPerRecord(); cpr > 2.0 {
+		t.Errorf("cycles/record = %.2f, want < 2", cpr)
+	}
+}
+
+func TestCoreBufferBytes(t *testing.T) {
+	cfg := CoreConfig{Ways: 8, FIFODepth: 4, RecordBytes: 16, FillPerCycle: 8}
+	c, _ := NewCore(cfg, nil)
+	// Stages hold 8+4+2+1 = 15 FIFOs of 4x16 bytes.
+	if got := c.BufferBytes(); got != 15*4*16 {
+		t.Errorf("BufferBytes = %d, want %d", got, 15*4*16)
+	}
+	if c.Depth() != 3 {
+		t.Errorf("Depth = %d", c.Depth())
+	}
+}
+
+func TestCoreDuplicateKeysAcrossLists(t *testing.T) {
+	// Duplicate keys must all come through (accumulation happens in a
+	// wrapper); count must match.
+	lists := [][]types.Record{
+		{{Key: 7, Val: 1}, {Key: 7, Val: 2}},
+		{{Key: 7, Val: 3}},
+	}
+	sources := []Source{NewSliceSource(lists[0]), NewSliceSource(lists[1])}
+	c, _ := NewCore(DefaultCoreConfig(2), sources)
+	var out []types.Record
+	if _, err := c.Run(func(r types.Record) { out = append(out, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("emitted %d, want 3", len(out))
+	}
+	sum := 0.0
+	for _, r := range out {
+		if r.Key != 7 {
+			t.Fatalf("unexpected key %d", r.Key)
+		}
+		sum += r.Val
+	}
+	if sum != 6 {
+		t.Errorf("values lost: sum %g", sum)
+	}
+}

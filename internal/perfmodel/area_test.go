@@ -1,0 +1,63 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoreAreaMatchesFabricatedChip(t *testing.T) {
+	// Paper Fig. 2: occupied area 7.5 mm2 in 16nm FinFET.
+	m := Area16nm()
+	br, err := m.CoreArea(ASICDesign(TS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Total() < 6.0 || br.Total() > 9.0 {
+		t.Errorf("core area %.2f mm2, fabricated chip is 7.5", br.Total())
+	}
+	// FIFO SRAM must dominate the logic blocks at K=2048 — the Fig. 6
+	// motivation.
+	if br.FIFOSRAMMM2 < br.SorterCellsMM2 {
+		t.Errorf("FIFO SRAM %.2f below sorter logic %.2f", br.FIFOSRAMMM2, br.SorterCellsMM2)
+	}
+	if !strings.Contains(br.String(), "total=") {
+		t.Error("breakdown stringer broken")
+	}
+}
+
+func TestCoreAreaScalesWithCores(t *testing.T) {
+	m := Area16nm()
+	small := ASICDesign(TS)
+	small.MergeCores = 4
+	big := ASICDesign(TS)
+	big.MergeCores = 32
+	brS, err := m.CoreArea(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brB, err := m.CoreArea(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brB.Total() <= brS.Total() {
+		t.Error("area does not grow with core count")
+	}
+	// FIFO SRAM grows linearly with cores.
+	ratio := brB.FIFOSRAMMM2 / brS.FIFOSRAMMM2
+	if ratio < 7.9 || ratio > 8.1 {
+		t.Errorf("FIFO SRAM scaling %.2fx, want 8x", ratio)
+	}
+}
+
+func TestActivatedPathSharingIsCheap(t *testing.T) {
+	// The per-stage comparator sharing keeps sorter logic negligible
+	// even at K=2048: under 5% of the die.
+	m := Area16nm()
+	br, err := m.CoreArea(ASICDesign(TS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.SorterCellsMM2 > 0.05*br.Total() {
+		t.Errorf("sorter cells %.2f mm2 exceed 5%% of %.2f", br.SorterCellsMM2, br.Total())
+	}
+}

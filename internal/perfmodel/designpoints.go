@@ -1,0 +1,237 @@
+// Package perfmodel implements the analytic performance model of the
+// accelerator: the capacity model behind Tables 1-2 (max dimension =
+// merge ways × segment width), the sustained-throughput model of the
+// design points, and the per-graph traffic/time/GTEPS model the
+// evaluation figures (17-22) are generated from. Constants calibrated to
+// the paper's published numbers are marked CALIBRATED and recorded in
+// EXPERIMENTS.md.
+package perfmodel
+
+import (
+	"fmt"
+
+	"mwmerge/internal/energy"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/types"
+)
+
+// Variant selects the algorithm variant of a design point.
+type Variant int
+
+const (
+	// TS is straight Two-Step.
+	TS Variant = iota
+	// ITS is Iteration-overlapped Two-Step.
+	ITS
+	// ITSVC is ITS with VLDI vector compression.
+	ITSVC
+)
+
+func (v Variant) String() string {
+	switch v {
+	case TS:
+		return "TS"
+	case ITS:
+		return "ITS"
+	case ITSVC:
+		return "ITS_VC"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// DesignPoint is one hardware implementation of the accelerator
+// (paper Table 2 rows).
+type DesignPoint struct {
+	ID       string
+	Platform string // "ASIC", "FPGA1", "FPGA2"
+	Variant  Variant
+
+	FreqHz     float64
+	MergeCores int // p parallel MCs
+	Ways       int // K per MC
+	Lanes      int // P step-1 multiply/accumulate lanes
+
+	// VectorBufBytes is the scratchpad dedicated to source-vector
+	// segments (before the ITS halving).
+	VectorBufBytes uint64
+	ValueBytes     int
+	MetaBytes      int
+
+	// RecordCycleBytes is the effective bytes one MC moves per output
+	// cycle (record + amortized meta). CALIBRATED: 20 B reproduces the
+	// paper's 28 GB/s for a single 2048-way MC at 1.4 GHz.
+	RecordCycleBytes float64
+	// MergeEff is the sustained fraction of peak merge throughput.
+	// CALIBRATED per platform from Table 2.
+	MergeEff float64
+	// ITSFactor is the computation-throughput multiplier when step 1 and
+	// step 2 overlap. CALIBRATED from Table 2 (729/432 on the ASIC).
+	ITSFactor float64
+	// VCFactor is the wire-throughput derating of the VLDI codec path.
+	// CALIBRATED: 656/729 on the ASIC.
+	VCFactor float64
+	// VCMetaBytes is the average compressed meta width per record under
+	// VLDI (≈2.5 B for degree-3-class graphs at 8-bit blocks).
+	VCMetaBytes float64
+
+	HBM    mem.HBMConfig
+	Energy energy.Model
+}
+
+// ASICDesign returns the fabricated 16nm ASIC design point for the given
+// variant: 16 × 2048-way MCs at 1.4 GHz, 8 MiB vector buffer, 512 GB/s
+// HBM. The ASIC prefetches 1 KiB per list, which with slot overhead gives
+// the paper's 2.5 MiB prefetch buffer and 11 MiB fast-memory total.
+func ASICDesign(v Variant) DesignPoint {
+	hbm := mem.DefaultHBM()
+	hbm.PageBytes = 1 << 10
+	d := DesignPoint{
+		ID:               "TS_ASIC",
+		Platform:         "ASIC",
+		Variant:          v,
+		FreqHz:           1.4e9,
+		MergeCores:       16,
+		Ways:             2048,
+		Lanes:            64,
+		VectorBufBytes:   8 << 20,
+		ValueBytes:       types.ValBytes32,
+		MetaBytes:        types.KeyBytes,
+		RecordCycleBytes: 20,
+		MergeEff:         0.964,
+		ITSFactor:        729.0 / 432.0,
+		VCFactor:         656.0 / 729.0,
+		VCMetaBytes:      2.5,
+		HBM:              hbm,
+		Energy:           energy.ASIC16nm(),
+	}
+	d.ID = v.String() + "_ASIC"
+	return d
+}
+
+// FPGA1Design returns the large-problem FPGA point: 16 × 64-way MCs at
+// 300 MHz (more ways, fewer cores).
+func FPGA1Design(v Variant) DesignPoint {
+	hbm := mem.DefaultHBM()
+	d := DesignPoint{
+		Platform:         "FPGA1",
+		Variant:          v,
+		FreqHz:           300e6,
+		MergeCores:       16,
+		Ways:             64,
+		Lanes:            32,
+		VectorBufBytes:   8 << 20,
+		ValueBytes:       types.ValBytes32,
+		MetaBytes:        types.KeyBytes,
+		RecordCycleBytes: 20,
+		MergeEff:         1.0,
+		ITSFactor:        178.0 / 96.0,
+		VCFactor:         0.9,
+		VCMetaBytes:      2.5,
+		HBM:              hbm,
+		Energy:           energy.FPGA(),
+	}
+	d.ID = v.String() + "_FPGA1"
+	return d
+}
+
+// FPGA2Design returns the high-throughput FPGA point: 32 × 32-way MCs at
+// 300 MHz (fewer ways, more cores).
+func FPGA2Design(v Variant) DesignPoint {
+	hbm := mem.DefaultHBM()
+	d := DesignPoint{
+		Platform:         "FPGA2",
+		Variant:          v,
+		FreqHz:           300e6,
+		MergeCores:       32,
+		Ways:             32,
+		Lanes:            32,
+		VectorBufBytes:   8 << 20,
+		ValueBytes:       types.ValBytes32,
+		MetaBytes:        types.KeyBytes,
+		RecordCycleBytes: 20,
+		MergeEff:         0.99,
+		ITSFactor:        357.0 / 190.0,
+		VCFactor:         0.9,
+		VCMetaBytes:      2.5,
+		HBM:              hbm,
+		Energy:           energy.FPGA(),
+	}
+	d.ID = v.String() + "_FPGA2"
+	return d
+}
+
+// Table2Points returns all seven design points of the paper's Table 2.
+func Table2Points() []DesignPoint {
+	return []DesignPoint{
+		ASICDesign(TS), ASICDesign(ITS), ASICDesign(ITSVC),
+		FPGA1Design(TS), FPGA1Design(ITS),
+		FPGA2Design(TS), FPGA2Design(ITS),
+	}
+}
+
+// SegmentWidth returns the source-vector segment width in elements, halved
+// for iteration-overlapped variants (two segments must fit).
+func (d DesignPoint) SegmentWidth() uint64 {
+	buf := d.VectorBufBytes
+	if d.Variant != TS {
+		buf /= 2
+	}
+	return buf / uint64(d.ValueBytes)
+}
+
+// MaxNodes returns the capacity bound: merge ways × segment width
+// (paper Table 1/2; 2048 × 2^21 = 4.29e9 for TS_ASIC — the paper reports
+// this as "4000 M").
+func (d DesignPoint) MaxNodes() uint64 {
+	return uint64(d.Ways) * d.SegmentWidth()
+}
+
+// SingleMCThroughput returns one MC's sustained output bandwidth in
+// bytes/s (28 GB/s for the ASIC's 2048-way MC).
+func (d DesignPoint) SingleMCThroughput() float64 {
+	return d.FreqHz * d.RecordCycleBytes
+}
+
+// SustainedThroughput returns the design point's sustained computation
+// throughput in bytes/s — the Table 2 column.
+func (d DesignPoint) SustainedThroughput() float64 {
+	base := float64(d.MergeCores) * d.FreqHz * d.RecordCycleBytes * d.MergeEff
+	switch d.Variant {
+	case ITS:
+		return base * d.ITSFactor
+	case ITSVC:
+		return base * d.ITSFactor * d.VCFactor
+	default:
+		return base
+	}
+}
+
+// OnChipMemory itemizes the fast-memory budget of the design (Table 1:
+// 11 MiB total on the ASIC).
+type OnChipMemory struct {
+	VectorBufBytes   uint64
+	PrefetchBytes    uint64
+	ComputeSRAMBytes uint64
+}
+
+// Total returns the summed fast-memory requirement.
+func (o OnChipMemory) Total() uint64 {
+	return o.VectorBufBytes + o.PrefetchBytes + o.ComputeSRAMBytes
+}
+
+// OnChip returns the design's fast-memory budget. The prefetch buffer is
+// K × dpage + per-radix slot overhead — independent of the MC count, the
+// PRaP property. Compute SRAM covers the MC pipeline FIFOs.
+func (d DesignPoint) OnChip() OnChipMemory {
+	prefetch := uint64(d.Ways) * d.HBM.PageBytes
+	// Slight slot overhead for radix partitioning within each page.
+	prefetch += prefetch / 4
+	// MC pipeline FIFO SRAM: ~2K records per K-way tree per core.
+	compute := uint64(d.MergeCores) * uint64(d.Ways) * 16
+	return OnChipMemory{
+		VectorBufBytes:   d.VectorBufBytes,
+		PrefetchBytes:    prefetch,
+		ComputeSRAMBytes: compute,
+	}
+}

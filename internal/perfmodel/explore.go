@@ -1,0 +1,111 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DesignConstraints bound a design-space search: the silicon and on-chip
+// memory budgets of a candidate implementation.
+type DesignConstraints struct {
+	// MaxCoreAreaMM2 bounds the computation-core die area.
+	MaxCoreAreaMM2 float64
+	// MaxOnChipBytes bounds total fast memory (vector buffer + prefetch
+	// + FIFO SRAM).
+	MaxOnChipBytes uint64
+	// MinMaxNodes requires the design to handle at least this dimension.
+	MinMaxNodes uint64
+}
+
+// ASICBudget returns the fabricated chip's envelope: 7.5 mm², 11 MiB,
+// billion-node capability.
+func ASICBudget() DesignConstraints {
+	return DesignConstraints{
+		MaxCoreAreaMM2: 7.5,
+		MaxOnChipBytes: 11 << 20,
+		MinMaxNodes:    1 << 30,
+	}
+}
+
+// Candidate is one evaluated point of the design space.
+type Candidate struct {
+	Point    DesignPoint
+	AreaMM2  float64
+	OnChip   uint64
+	MaxNodes uint64
+	GTEPS    float64
+	Feasible bool
+	Reason   string // why infeasible, when Feasible is false
+}
+
+// Explore sweeps merge-core counts, tree widths and lane counts around
+// the ASIC template, evaluates each candidate on the workload, and
+// returns all candidates with feasible ones ranked by GTEPS. It answers
+// the co-design question the paper resolves by construction: how should a
+// fixed silicon budget split between step-1 lanes, merge parallelism and
+// tree width?
+func Explore(workload GraphStats, cons DesignConstraints, area AreaModel) ([]Candidate, error) {
+	if workload.Nodes == 0 || workload.Edges == 0 {
+		return nil, fmt.Errorf("perfmodel: empty workload")
+	}
+	var out []Candidate
+	for _, cores := range []int{4, 8, 16, 32, 64} {
+		for _, ways := range []int{256, 512, 1024, 2048, 4096} {
+			for _, lanes := range []int{16, 32, 64, 128} {
+				d := ASICDesign(TS)
+				d.MergeCores = cores
+				d.Ways = ways
+				d.Lanes = lanes
+				d.ID = fmt.Sprintf("p%d-K%d-P%d", cores, ways, lanes)
+
+				br, err := area.CoreArea(d)
+				if err != nil {
+					return nil, err
+				}
+				oc := d.OnChip().Total()
+				c := Candidate{
+					Point:    d,
+					AreaMM2:  br.Total(),
+					OnChip:   oc,
+					MaxNodes: d.MaxNodes(),
+				}
+				switch {
+				case br.Total() > cons.MaxCoreAreaMM2:
+					c.Reason = "area"
+				case oc > cons.MaxOnChipBytes:
+					c.Reason = "on-chip memory"
+				case d.MaxNodes() < cons.MinMaxNodes:
+					c.Reason = "capacity"
+				case workload.Nodes > d.MaxNodes():
+					c.Reason = "workload exceeds capacity"
+				default:
+					r, err := d.Evaluate(workload)
+					if err != nil {
+						c.Reason = err.Error()
+					} else {
+						c.Feasible = true
+						c.GTEPS = r.GTEPS
+					}
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		return out[i].GTEPS > out[j].GTEPS
+	})
+	return out, nil
+}
+
+// Best returns the top feasible candidate, if any.
+func Best(cands []Candidate) (Candidate, bool) {
+	for _, c := range cands {
+		if c.Feasible {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}

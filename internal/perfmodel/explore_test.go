@@ -1,0 +1,111 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreFindsFeasibleDesigns(t *testing.T) {
+	w := GraphStats{Nodes: 1e9, Edges: 3e9}
+	cands, err := Explore(w, ASICBudget(), Area16nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 5*5*4 {
+		t.Fatalf("explored %d candidates", len(cands))
+	}
+	best, ok := Best(cands)
+	if !ok {
+		t.Fatal("no feasible design under the ASIC budget")
+	}
+	if best.GTEPS <= 0 {
+		t.Error("best design has no throughput")
+	}
+	if best.AreaMM2 > 7.5 || best.OnChip > 11<<20 {
+		t.Errorf("best design violates budget: %.1f mm2, %d bytes", best.AreaMM2, best.OnChip)
+	}
+	// Feasible candidates are sorted by GTEPS.
+	var prev float64 = 1e18
+	for _, c := range cands {
+		if !c.Feasible {
+			break
+		}
+		if c.GTEPS > prev {
+			t.Fatal("feasible candidates not sorted by GTEPS")
+		}
+		prev = c.GTEPS
+	}
+}
+
+func TestExploreRespectsConstraints(t *testing.T) {
+	w := GraphStats{Nodes: 1e6, Edges: 3e6}
+	tight := DesignConstraints{MaxCoreAreaMM2: 0.1, MaxOnChipBytes: 1 << 30, MinMaxNodes: 1}
+	cands, err := Explore(w, tight, Area16nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Feasible {
+			t.Fatalf("candidate %s feasible under 0.1 mm2", c.Point.ID)
+		}
+		if c.Reason == "" {
+			t.Error("infeasible candidate lacks a reason")
+		}
+	}
+	if _, ok := Best(cands); ok {
+		t.Error("Best found a design where none is feasible")
+	}
+}
+
+func TestExploreCapacityConstraint(t *testing.T) {
+	// Demanding 8B-node capacity with an 8 MiB buffer rules out narrow
+	// trees.
+	w := GraphStats{Nodes: 1e6, Edges: 3e6}
+	cons := ASICBudget()
+	cons.MinMaxNodes = 6e9
+	cands, err := Explore(w, cons, Area16nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Feasible && c.Point.Ways < 4096 {
+			t.Errorf("design %s feasible with only %d ways for 6B nodes", c.Point.ID, c.Point.Ways)
+		}
+	}
+}
+
+func TestExploreRejectsEmptyWorkload(t *testing.T) {
+	if _, err := Explore(GraphStats{}, ASICBudget(), Area16nm()); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestExploreTheFabricatedPointIsNearOptimal(t *testing.T) {
+	// The paper's own configuration (16 cores, 2048 ways, 64 lanes)
+	// should be feasible and close to the explored optimum on its
+	// target workload — evidence the published design sits where the
+	// model says it should.
+	w := GraphStats{Nodes: 1e9, Edges: 3e9}
+	cands, err := Explore(w, ASICBudget(), Area16nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := Best(cands)
+	var paper Candidate
+	found := false
+	for _, c := range cands {
+		if strings.HasPrefix(c.Point.ID, "p16-K2048-P64") {
+			paper, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("paper configuration not in the sweep")
+	}
+	if !paper.Feasible {
+		t.Fatalf("paper configuration infeasible: %s", paper.Reason)
+	}
+	if paper.GTEPS < 0.6*best.GTEPS {
+		t.Errorf("paper config %.1f GTEPS far below explored best %.1f", paper.GTEPS, best.GTEPS)
+	}
+}

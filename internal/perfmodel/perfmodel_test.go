@@ -1,0 +1,274 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/types"
+)
+
+// approx reports a within tol (relative) of b.
+func approx(a, b, tol float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	return math.Abs(a-b)/math.Abs(b) <= tol
+}
+
+func TestTable2MaxNodes(t *testing.T) {
+	// Paper Table 2, maximum nodes in millions. The ASIC values are the
+	// paper's decimal rounding of 2^32/2^31; the FPGA values match
+	// exactly.
+	cases := []struct {
+		point DesignPoint
+		wantM float64
+		tol   float64
+	}{
+		{ASICDesign(TS), 4000, 0.08},
+		{ASICDesign(ITS), 2000, 0.08},
+		{ASICDesign(ITSVC), 2000, 0.08},
+		{FPGA1Design(TS), 134.2, 0.01},
+		{FPGA1Design(ITS), 67.1, 0.01},
+		{FPGA2Design(TS), 67.1, 0.01},
+		{FPGA2Design(ITS), 33.6, 0.01},
+	}
+	for _, c := range cases {
+		gotM := float64(c.point.MaxNodes()) / 1e6
+		if !approx(gotM, c.wantM, c.tol) {
+			t.Errorf("%s: MaxNodes %.1fM, paper %.1fM", c.point.ID, gotM, c.wantM)
+		}
+	}
+}
+
+func TestTable2SustainedThroughput(t *testing.T) {
+	cases := []struct {
+		point DesignPoint
+		want  float64 // GB/s
+	}{
+		{ASICDesign(TS), 432},
+		{ASICDesign(ITS), 729},
+		{ASICDesign(ITSVC), 656},
+		{FPGA1Design(TS), 96},
+		{FPGA1Design(ITS), 178},
+		{FPGA2Design(TS), 190},
+		{FPGA2Design(ITS), 357},
+	}
+	for _, c := range cases {
+		got := c.point.SustainedThroughput() / 1e9
+		if !approx(got, c.want, 0.02) {
+			t.Errorf("%s: sustained %.0f GB/s, paper %.0f", c.point.ID, got, c.want)
+		}
+	}
+}
+
+func TestSingleMCThroughput(t *testing.T) {
+	// Paper §3.2: a single 2048-way MC at 1.4 GHz saturates 28 GB/s.
+	d := ASICDesign(TS)
+	if got := d.SingleMCThroughput() / 1e9; !approx(got, 28, 0.01) {
+		t.Errorf("single MC throughput %.1f GB/s, paper 28", got)
+	}
+}
+
+func TestOnChipBudgetAround11MB(t *testing.T) {
+	// Paper Table 1: the ASIC needs ~11 MiB fast memory in total
+	// (8 vector + 2.5 prefetch + 0.5 compute).
+	oc := ASICDesign(TS).OnChip()
+	totalMiB := float64(oc.Total()) / float64(types.MiB)
+	if totalMiB < 10 || totalMiB > 12 {
+		t.Errorf("on-chip total %.1f MiB, want ~11", totalMiB)
+	}
+	if oc.VectorBufBytes != 8<<20 {
+		t.Errorf("vector buffer %d", oc.VectorBufBytes)
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	// The proposed design handles orders of magnitude larger graphs than
+	// the prior solutions despite less on-chip memory (Table 1).
+	its := ASICDesign(ITS)
+	priorMaxNodes := uint64(118e6) // best COTS row in Table 1
+	if its.MaxNodes() <= 10*priorMaxNodes {
+		t.Errorf("ITS max nodes %d not >> prior best %d", its.MaxNodes(), priorMaxNodes)
+	}
+	if oc := its.OnChip().Total(); oc > 32<<20 {
+		t.Errorf("on-chip %d exceeds the 32 MiB prior-ASIC budget", oc)
+	}
+}
+
+func TestIntermediateRecordsBounds(t *testing.T) {
+	g := GraphStats{Nodes: 1e6, Edges: 3e6}
+	w := uint64(1 << 18) // 4 stripes
+	recs := g.IntermediateRecords(w)
+	if recs == 0 || recs > g.Edges {
+		t.Fatalf("records %d out of bounds", recs)
+	}
+	// Narrower stripes → more stripes → more (smaller) vectors, total
+	// records cannot shrink.
+	recsNarrow := g.IntermediateRecords(w / 4)
+	if recsNarrow < recs {
+		t.Errorf("narrower stripes reduced records: %d < %d", recsNarrow, recs)
+	}
+	// Degenerate inputs.
+	if (GraphStats{}).IntermediateRecords(10) != 0 {
+		t.Error("empty graph should produce 0 records")
+	}
+}
+
+func TestTwoStepTrafficComposition(t *testing.T) {
+	d := ASICDesign(TS)
+	g := GraphStats{Nodes: 10e6, Edges: 30e6}
+	tr := d.TwoStepTraffic(g)
+	if tr.MatrixBytes != uint64(float64(g.Edges)*(8+4)) {
+		t.Errorf("matrix bytes %d", tr.MatrixBytes)
+	}
+	if tr.SourceVectorBytes != g.Nodes*4 || tr.ResultBytes != g.Nodes*4 {
+		t.Errorf("vector traffic %d/%d", tr.SourceVectorBytes, tr.ResultBytes)
+	}
+	if tr.IntermediateWrite != tr.IntermediateRead {
+		t.Error("asymmetric round trip")
+	}
+	if tr.WastageBytes != 0 {
+		t.Error("two-step has no wastage")
+	}
+	// VLDI variant moves fewer bytes.
+	vc := ASICDesign(ITSVC).TwoStepTraffic(g)
+	if vc.Total() >= tr.Total() {
+		t.Errorf("VLDI traffic %d not below %d", vc.Total(), tr.Total())
+	}
+}
+
+func TestEvaluateOrderingAcrossVariants(t *testing.T) {
+	// On any graph all three ASIC variants must rank TS <= ITS <= ITS_VC
+	// in GTEPS — the paper's Fig. 17 ordering.
+	for _, d := range []Dataset{} {
+		_ = d
+	}
+	for _, g := range []GraphStats{
+		{Nodes: 1e6, Edges: 12e6},
+		{Nodes: 50e6, Edges: 150e6},
+		{Nodes: 1000e6, Edges: 2580e6},
+	} {
+		ts, err := ASICDesign(TS).Evaluate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		its, err := ASICDesign(ITS).Evaluate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := ASICDesign(ITSVC).Evaluate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(ts.GTEPS <= its.GTEPS*1.001 && its.GTEPS <= vc.GTEPS*1.001) {
+			t.Errorf("N=%g: GTEPS ordering TS=%.1f ITS=%.1f VC=%.1f",
+				float64(g.Nodes), ts.GTEPS, its.GTEPS, vc.GTEPS)
+		}
+	}
+}
+
+// Dataset alias for the loop above.
+type Dataset = graph.Dataset
+
+func TestEvaluateCapacityEnforced(t *testing.T) {
+	g := GraphStats{Nodes: 5e9, Edges: 10e9} // beyond even TS_ASIC
+	if _, err := ASICDesign(TS).Evaluate(g); err == nil {
+		t.Error("5B nodes accepted by TS_ASIC")
+	}
+	if _, ok := FPGA1Design(TS).EvaluateOrCap(GraphStats{Nodes: 500e6, Edges: 1e9}); ok {
+		t.Error("FPGA1 accepted 500M nodes")
+	}
+	if _, ok := ASICDesign(TS).EvaluateOrCap(GraphStats{Nodes: 1e6, Edges: 3e6}); !ok {
+		t.Error("valid graph rejected")
+	}
+}
+
+func TestASICBeatsFPGABeatsCOTS(t *testing.T) {
+	// The headline result: ASIC > FPGA >> CPU/GPU on large sparse
+	// graphs, by roughly the paper's factors.
+	g := GraphStats{Nodes: 50e6, Edges: 150e6} // deg 3, large
+	asic, err := ASICDesign(ITSVC).Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpga, err := FPGA2Design(ITS).Evaluate(GraphStats{Nodes: 30e6, Edges: 90e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, ok := XeonE5().EvaluateCOTS(g, 8, 8)
+	if !ok {
+		t.Fatal("CPU model rejected graph")
+	}
+	if asic.GTEPS <= fpga.GTEPS {
+		t.Errorf("ASIC %.1f not above FPGA %.1f", asic.GTEPS, fpga.GTEPS)
+	}
+	ratio := asic.GTEPS / cpu.GTEPS
+	if ratio < 16 || ratio > 2000 {
+		t.Errorf("ASIC/CPU speedup %.0fx outside the paper's 16-800x envelope", ratio)
+	}
+	// Energy: orders of magnitude better.
+	if asic.NJPerEdge*50 > cpu.NJPerEdge {
+		t.Errorf("ASIC %.2f nJ/edge not >>50x below CPU %.2f", asic.NJPerEdge, cpu.NJPerEdge)
+	}
+}
+
+func TestCOTSCapacityLimits(t *testing.T) {
+	// The paper could not run >70M nodes on Xeon E5 or >30M on Phi.
+	if _, ok := XeonE5().EvaluateCOTS(GraphStats{Nodes: 130e6, Edges: 290e6}, 8, 8); ok {
+		t.Error("Xeon E5 accepted 130M nodes")
+	}
+	if _, ok := XeonPhi5110().EvaluateCOTS(GraphStats{Nodes: 60e6, Edges: 180e6}, 8, 8); ok {
+		t.Error("Xeon Phi accepted 60M nodes")
+	}
+	if _, ok := XeonPhi5110().EvaluateCOTS(GraphStats{Nodes: 16e6, Edges: 24e6}, 8, 8); !ok {
+		t.Error("Xeon Phi rejected 16M nodes")
+	}
+}
+
+func TestCPUModelRendersLowGTEPS(t *testing.T) {
+	// COTS SpMV renders <10% of peak: fractions of a GTEPS on large
+	// sparse graphs.
+	for _, id := range []string{"Sy-60M", "wb-edu", "patents"} {
+		d, err := graph.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := GraphStats{Nodes: d.Nodes(), Edges: d.Edges()}
+		r, ok := XeonE5().EvaluateCOTS(g, 8, 8)
+		if !ok {
+			t.Fatalf("%s rejected", id)
+		}
+		if r.GTEPS > 1.0 || r.GTEPS <= 0 {
+			t.Errorf("%s: CPU model gives %.2f GTEPS, want fractional", id, r.GTEPS)
+		}
+	}
+}
+
+func TestLatencyBoundTrafficWastageDominates(t *testing.T) {
+	// Fig. 4's bar: for 1B nodes deg 3, wastage dominates the
+	// latency-bound traffic and Two-Step total is lower.
+	g := GraphStats{Nodes: 1e9, Edges: 3e9}
+	lb := LatencyBoundTraffic(g, 30<<20, 4, 8)
+	if lb.WastageBytes < lb.Payload() {
+		t.Errorf("wastage %d should dominate payload %d at this scale",
+			lb.WastageBytes, lb.Payload())
+	}
+	ts := ASICDesign(TS).TwoStepTraffic(g)
+	if ts.Total() >= lb.Total() {
+		t.Errorf("Two-Step traffic %d not below latency-bound %d", ts.Total(), lb.Total())
+	}
+	if ts.Payload() <= lb.Payload() {
+		t.Errorf("Two-Step payload %d should exceed latency-bound payload %d",
+			ts.Payload(), lb.Payload())
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if TS.String() != "TS" || ITS.String() != "ITS" || ITSVC.String() != "ITS_VC" {
+		t.Error("variant names wrong")
+	}
+	if len(Table2Points()) != 7 {
+		t.Errorf("Table2Points = %d rows", len(Table2Points()))
+	}
+}

@@ -1,0 +1,96 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+)
+
+// degreeHist builds a clamped degree histogram.
+func degreeHist(m *matrix.COO, bins int) []uint64 {
+	h := make([]uint64, bins)
+	for _, d := range m.RowDegrees() {
+		if d >= uint64(bins) {
+			d = uint64(bins) - 1
+		}
+		h[d]++
+	}
+	return h
+}
+
+// measureIntermediateRecords counts exact distinct (stripe, row) pairs.
+func measureIntermediateRecords(t *testing.T, m *matrix.COO, segWidth uint64) uint64 {
+	t.Helper()
+	stripes, err := matrix.Partition1D(m, segWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, s := range stripes {
+		rows := map[uint64]struct{}{}
+		for _, e := range s.Entries {
+			rows[e.Row] = struct{}{}
+		}
+		total += uint64(len(rows))
+	}
+	return total
+}
+
+func TestSkewAwareEstimateMatchesMeasurementER(t *testing.T) {
+	const n, seg = 1 << 15, 1 << 12
+	m, err := graph.ErdosRenyi(n, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GraphStats{Nodes: n, Edges: uint64(m.NNZ())}
+	measured := measureIntermediateRecords(t, m, seg)
+	est := g.IntermediateRecordsFromDegrees(seg, degreeHist(m, 256))
+	ratio := float64(est) / float64(measured)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("ER skew-aware estimate off by %.3fx (%d vs %d)", ratio, est, measured)
+	}
+}
+
+func TestSkewAwareBeatsUniformOnPowerLaw(t *testing.T) {
+	const n, seg = 1 << 15, 1 << 12
+	m, err := graph.Zipf(n, 10, 1.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GraphStats{Nodes: n, Edges: uint64(m.NNZ())}
+	measured := measureIntermediateRecords(t, m, seg)
+	uniform := g.IntermediateRecords(seg)
+	skew := g.IntermediateRecordsFromDegrees(seg, degreeHist(m, 1<<14))
+
+	errOf := func(est uint64) float64 {
+		d := float64(est) - float64(measured)
+		if d < 0 {
+			d = -d
+		}
+		return d / float64(measured)
+	}
+	if errOf(skew) > errOf(uniform) {
+		t.Errorf("skew-aware error %.3f worse than uniform %.3f (measured %d, skew %d, uniform %d)",
+			errOf(skew), errOf(uniform), measured, skew, uniform)
+	}
+	if errOf(skew) > 0.05 {
+		t.Errorf("skew-aware estimate off by %.3f (%d vs measured %d)", errOf(skew), skew, measured)
+	}
+}
+
+func TestSkewAwareDegenerate(t *testing.T) {
+	g := GraphStats{Nodes: 100, Edges: 300}
+	if g.IntermediateRecordsFromDegrees(0, []uint64{1}) != 0 {
+		t.Error("zero segment width should give 0")
+	}
+	if g.IntermediateRecordsFromDegrees(10, nil) != 0 {
+		t.Error("empty histogram should give 0")
+	}
+	// Estimate never exceeds the edge count.
+	hist := make([]uint64, 1000)
+	hist[999] = 100
+	if got := g.IntermediateRecordsFromDegrees(10, hist); got > g.Edges {
+		t.Errorf("estimate %d exceeds edges %d", got, g.Edges)
+	}
+}

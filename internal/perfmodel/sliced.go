@@ -1,0 +1,76 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlicedResult extends Result with the multi-pass merge accounting used
+// beyond the single-pass capacity bound.
+type SlicedResult struct {
+	Result
+	// Passes is the number of extra batch-merge passes (0 within
+	// capacity).
+	Passes int
+}
+
+// EvaluateSliced models SpMV beyond the K-way capacity: with
+// n = ceil(N / segmentWidth) stripes and K ways, each extra pass merges
+// batches of K intermediate vectors into combined vectors that make an
+// additional DRAM round trip. Time follows the same pipeline model with
+// the inflated intermediate traffic; GTEPS degrades gracefully rather
+// than hitting a wall — the quantitative version of the paper's remark
+// that prior accelerators must "slice and partition larger graphs".
+func (d DesignPoint) EvaluateSliced(g GraphStats) (SlicedResult, error) {
+	var out SlicedResult
+	if g.Nodes == 0 || g.Edges == 0 {
+		return out, fmt.Errorf("perfmodel: empty graph")
+	}
+	stripes := float64((g.Nodes + d.SegmentWidth() - 1) / d.SegmentWidth())
+	k := float64(d.Ways)
+	passes := 0
+	for lists := stripes; lists > k; lists = math.Ceil(lists / k) {
+		passes++
+	}
+	out.Passes = passes
+	if passes == 0 {
+		r, err := d.Evaluate(g)
+		out.Result = r
+		return out, err
+	}
+
+	t := d.TwoStepTraffic(g)
+	// Every pass rereads and rewrites the (accumulating) intermediate
+	// set once more. After the first batch merge the combined vectors
+	// approach density N per batch; bound the growth by reusing the
+	// single-pass round-trip volume per extra pass (a slight
+	// underestimate for hypersparse inputs, an overestimate once the
+	// vectors densify).
+	extra := uint64(passes) * (t.IntermediateWrite + t.IntermediateRead) / 2
+	t.IntermediateWrite += extra
+	t.IntermediateRead += extra
+
+	bw := float64(d.MergeCores) * d.FreqHz * d.RecordCycleBytes * d.MergeEff
+	if bw > d.HBM.StreamBandwidth {
+		bw = d.HBM.StreamBandwidth
+	}
+	b1 := float64(t.MatrixBytes + t.SourceVectorBytes + t.IntermediateWrite)
+	b2 := float64(t.IntermediateRead + t.ResultBytes)
+	c1 := float64(g.Edges) / (float64(d.Lanes) * d.FreqHz)
+	recs := float64(g.IntermediateRecords(d.SegmentWidth())) * float64(1+passes)
+	if n := float64(g.Nodes); n > recs {
+		recs = n
+	}
+	c2 := recs / (float64(d.MergeCores) * d.FreqHz)
+	secs := math.Max(b1/bw, c1) + math.Max(b2/bw, c2)
+
+	out.Result = Result{
+		Point:     d,
+		Graph:     g,
+		Traffic:   t,
+		Seconds:   secs,
+		GTEPS:     float64(g.Edges) / secs / 1e9,
+		NJPerEdge: d.Energy.Energy(t, secs) * 1e9 / float64(g.Edges),
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"mwmerge/internal/energy"
+	"mwmerge/internal/mem"
+)
+
+// GraphStats is the closed-form input of the analytic model: the traffic
+// and time of Two-Step SpMV depend only on dimension, nonzero count and
+// how the nonzeros spread across stripes — not on edge identity.
+type GraphStats struct {
+	Nodes uint64
+	Edges uint64
+}
+
+// AvgDegree returns edges/nodes.
+func (g GraphStats) AvgDegree() float64 {
+	if g.Nodes == 0 {
+		return 0
+	}
+	return float64(g.Edges) / float64(g.Nodes)
+}
+
+// IntermediateRecords estimates the summed nonzero count of all
+// intermediate vectors for a segment width w: each stripe k holds a
+// Binomial(nnz_k, 1/N)-per-row pattern, so a stripe with nnz_k nonzeros
+// touches ≈ N·(1 - exp(-nnz_k/N)) distinct rows. Uniform spreading across
+// n = ceil(N/w) stripes gives the estimate below; it is exact in
+// expectation for Erdős–Rényi graphs and an upper bound for clustered
+// ones.
+func (g GraphStats) IntermediateRecords(segmentWidth uint64) uint64 {
+	if g.Nodes == 0 || g.Edges == 0 || segmentWidth == 0 {
+		return 0
+	}
+	n := float64((g.Nodes + segmentWidth - 1) / segmentWidth)
+	nnzPerStripe := float64(g.Edges) / n
+	rows := float64(g.Nodes)
+	perStripe := rows * (1 - math.Exp(-nnzPerStripe/rows))
+	total := uint64(perStripe * n)
+	if total > g.Edges {
+		total = g.Edges
+	}
+	return total
+}
+
+// IntermediateRecordsFromDegrees refines the estimate with the row-degree
+// distribution: a row with degree d lands in E = n·(1 − (1 − 1/n)^d)
+// distinct stripes of the n stripes, and contributes one intermediate
+// record per stripe it touches. Power-law graphs, whose hubs collapse
+// many products into few records, produce measurably fewer intermediate
+// records than the uniform estimate. degreeHist[d] = number of rows with
+// degree d (clamped tail in the last bin).
+func (g GraphStats) IntermediateRecordsFromDegrees(segmentWidth uint64, degreeHist []uint64) uint64 {
+	if g.Nodes == 0 || segmentWidth == 0 || len(degreeHist) == 0 {
+		return 0
+	}
+	n := float64((g.Nodes + segmentWidth - 1) / segmentWidth)
+	if n < 1 {
+		n = 1
+	}
+	var total float64
+	for d, rows := range degreeHist {
+		if rows == 0 || d == 0 {
+			continue
+		}
+		touched := n * (1 - math.Pow(1-1/n, float64(d)))
+		total += float64(rows) * touched
+	}
+	out := uint64(total)
+	if out > g.Edges {
+		out = g.Edges
+	}
+	return out
+}
+
+// TwoStepTraffic returns the off-chip ledger of one Two-Step SpMV under
+// the design point's precision/compression settings.
+func (d DesignPoint) TwoStepTraffic(g GraphStats) mem.Traffic {
+	w := d.SegmentWidth()
+	meta := float64(d.MetaBytes)
+	if d.Variant == ITSVC {
+		meta = d.VCMetaBytes
+	}
+	val := float64(d.ValueBytes)
+	recs := float64(g.IntermediateRecords(w))
+
+	t := mem.Traffic{
+		MatrixBytes:       uint64(float64(g.Edges) * (meta + val)),
+		SourceVectorBytes: g.Nodes * uint64(d.ValueBytes),
+		IntermediateWrite: uint64(recs * (meta + val)),
+		IntermediateRead:  uint64(recs * (meta + val)),
+		ResultBytes:       g.Nodes * uint64(d.ValueBytes),
+	}
+	return t
+}
+
+// LatencyBoundTraffic returns the ledger of the conventional cache-based
+// SpMV on the same graph (Fig. 4's left bar): the matrix streams once, but
+// every nonzero gathers x[col] through the cache hierarchy. With working
+// sets far beyond the LLC, each gather misses with high probability and
+// drags a full cache line of which only valBytes are useful.
+func LatencyBoundTraffic(g GraphStats, llcBytes uint64, valBytes, metaBytes int) mem.Traffic {
+	const lineBytes = 64.0
+	// Gather miss probability: the x working set is N·val bytes; the LLC
+	// retains llcBytes of it, so a uniform random gather hits with
+	// probability min(1, llc/(N·val)).
+	xBytes := float64(g.Nodes) * float64(valBytes)
+	hit := 1.0
+	if xBytes > 0 {
+		hit = float64(llcBytes) / xBytes
+		if hit > 1 {
+			hit = 1
+		}
+	}
+	missRate := 1 - hit
+	misses := float64(g.Edges) * missRate
+
+	useful := float64(valBytes)
+	wastePerMiss := lineBytes - useful
+	t := mem.Traffic{
+		MatrixBytes:       uint64(float64(g.Edges) * float64(metaBytes+valBytes)),
+		SourceVectorBytes: uint64(misses * useful),
+		ResultBytes:       g.Nodes * uint64(valBytes) * 2, // y read+write
+		WastageBytes:      uint64(misses * wastePerMiss),
+	}
+	return t
+}
+
+// Result is one analytic evaluation of a design point on a graph.
+type Result struct {
+	Point     DesignPoint
+	Graph     GraphStats
+	Traffic   mem.Traffic
+	Seconds   float64
+	GTEPS     float64
+	NJPerEdge float64
+}
+
+// Evaluate runs the two-phase pipeline time model:
+//
+//	step-1 bytes B1 = matrix + x + intermediate writes
+//	step-2 bytes B2 = intermediate reads + y
+//	step-1 compute C1 = nnz / (P·f)      (multiply/accumulate lanes)
+//	step-2 compute C2 = max(records, N) / (p·f)  (merge + injection)
+//
+// TS executes the phases back to back: time = max(B1/BW, C1) +
+// max(B2/BW, C2). ITS overlaps them across iterations: time =
+// max((B1+B2)/BW, C1, C2). BW is the design point's sustained streaming
+// bandwidth (never above the HBM peak). GTEPS = edges/time.
+func (d DesignPoint) Evaluate(g GraphStats) (Result, error) {
+	if g.Nodes == 0 || g.Edges == 0 {
+		return Result{}, fmt.Errorf("perfmodel: empty graph")
+	}
+	if g.Nodes > d.MaxNodes() {
+		return Result{}, fmt.Errorf("perfmodel: %d nodes exceed %s capacity %d", g.Nodes, d.ID, d.MaxNodes())
+	}
+	t := d.TwoStepTraffic(g)
+	b1 := float64(t.MatrixBytes + t.SourceVectorBytes + t.IntermediateWrite)
+	b2 := float64(t.IntermediateRead + t.ResultBytes)
+
+	bw := float64(d.MergeCores) * d.FreqHz * d.RecordCycleBytes * d.MergeEff
+	if bw > d.HBM.StreamBandwidth {
+		bw = d.HBM.StreamBandwidth
+	}
+	c1 := float64(g.Edges) / (float64(d.Lanes) * d.FreqHz)
+	recs := float64(g.IntermediateRecords(d.SegmentWidth()))
+	mergeWork := recs
+	if n := float64(g.Nodes); n > mergeWork {
+		mergeWork = n // missing-key injection still emits N records
+	}
+	c2 := mergeWork / (float64(d.MergeCores) * d.FreqHz)
+	if d.Variant == ITSVC {
+		c2 /= d.VCFactor // codec derates the merge wire rate
+	}
+
+	var secs float64
+	switch d.Variant {
+	case TS:
+		secs = math.Max(b1/bw, c1) + math.Max(b2/bw, c2)
+	default: // ITS, ITSVC overlap the phases
+		secs = math.Max((b1+b2)/bw, math.Max(c1, c2))
+	}
+
+	gteps := float64(g.Edges) / secs / 1e9
+	nj := d.Energy.Energy(t, secs) * 1e9 / float64(g.Edges)
+	return Result{Point: d, Graph: g, Traffic: t, Seconds: secs, GTEPS: gteps, NJPerEdge: nj}, nil
+}
+
+// EvaluateOrCap evaluates d on g, and when the graph exceeds the design's
+// capacity returns a zeroed result with ok=false (figures show blank bars
+// for graphs a platform cannot run, as the paper does for the FPGA points
+// on billion-node graphs).
+func (d DesignPoint) EvaluateOrCap(g GraphStats) (Result, bool) {
+	r, err := d.Evaluate(g)
+	if err != nil {
+		return Result{Point: d, Graph: g}, false
+	}
+	return r, true
+}
+
+// CPUModelConfig parameterizes the latency-bound COTS model (Fig. 21/22
+// baselines).
+type CPUModelConfig struct {
+	Name            string
+	LLCBytes        uint64
+	StreamBandwidth float64 // bytes/s
+	RandomBandwidth float64 // bytes/s at cache-line grain
+	// ComputeEdgesPerSec caps the traversal rate: on COTS architectures
+	// >94% of SpMV instructions are graph traversal/bookkeeping (paper
+	// §1), so edge throughput saturates far below memory bandwidth even
+	// when the working set fits in cache.
+	ComputeEdgesPerSec float64
+	MaxNodes           uint64 // beyond this the platform fails (paper §7.4)
+	Power              energy.Model
+}
+
+// XeonE5 returns the dual-socket Xeon E5-2620 model: 30 MiB LLC, 102 GB/s
+// peak. The paper could not run graphs over 70 M nodes on it.
+func XeonE5() CPUModelConfig {
+	return CPUModelConfig{
+		Name:               "Xeon E5 (12 threads)",
+		LLCBytes:           30 << 20,
+		StreamBandwidth:    102e9 * 0.6, // sustained fraction of peak
+		RandomBandwidth:    6e9,
+		ComputeEdgesPerSec: 0.6e9,
+		MaxNodes:           70e6,
+		Power:              energy.CPU(),
+	}
+}
+
+// XeonPhi5110 returns the Xeon Phi 5110P model: 30 MiB LLC, 352 GB/s
+// peak; failed beyond 30 M nodes in the paper.
+func XeonPhi5110() CPUModelConfig {
+	return CPUModelConfig{
+		Name:               "Xeon Phi 5110",
+		LLCBytes:           30 << 20,
+		StreamBandwidth:    352e9 * 0.5,
+		RandomBandwidth:    10e9,
+		ComputeEdgesPerSec: 0.9e9,
+		MaxNodes:           30e6,
+		Power:              energy.XeonPhi(),
+	}
+}
+
+// GPUM2050 returns the 8-node Tesla M2050 cluster model: aggregate
+// 148 GB/s × 8 device bandwidth but gather-limited with inter-node
+// exchange overhead.
+func GPUM2050() CPUModelConfig {
+	return CPUModelConfig{
+		Name:               "8x Tesla M2050",
+		LLCBytes:           8 << 20,
+		StreamBandwidth:    8 * 148e9 * 0.35,
+		RandomBandwidth:    8 * 4e9,
+		ComputeEdgesPerSec: 1.2e9,
+		MaxNodes:           60e6,
+		Power:              energy.GPUCluster(),
+	}
+}
+
+// EvaluateCOTS runs the latency-bound model: matrix and y stream, x
+// gathers randomly; time = stream/BWs + randomBytes/BWr. Returns GTEPS and
+// nJ/edge.
+func (c CPUModelConfig) EvaluateCOTS(g GraphStats, valBytes, metaBytes int) (Result, bool) {
+	if g.Nodes == 0 || g.Edges == 0 || g.Nodes > c.MaxNodes {
+		return Result{Graph: g}, false
+	}
+	t := LatencyBoundTraffic(g, c.LLCBytes, valBytes, metaBytes)
+	stream := float64(t.MatrixBytes + t.ResultBytes)
+	random := float64(t.SourceVectorBytes + t.WastageBytes)
+	secs := stream/c.StreamBandwidth + random/c.RandomBandwidth
+	if c.ComputeEdgesPerSec > 0 {
+		if ct := float64(g.Edges) / c.ComputeEdgesPerSec; ct > secs {
+			secs = ct
+		}
+	}
+	gteps := float64(g.Edges) / secs / 1e9
+	nj := c.Power.Energy(t, secs) * 1e9 / float64(g.Edges)
+	return Result{Graph: g, Traffic: t, Seconds: secs, GTEPS: gteps, NJPerEdge: nj}, true
+}

@@ -1,0 +1,291 @@
+// Package prap implements the paper's central contribution:
+// Parallelization by Radix Pre-sorter (§4.2). Records streamed from DRAM
+// pass through a stable bitonic pre-sorter on the q LSBs of their keys and
+// land in per-radix slots of a shared prefetch buffer; p = 2^q independent
+// Merge Cores each merge only the records of their residue class. Because
+// the final output is a *dense* vector, missing-key injection makes every
+// MC emit exactly one record per key of its class, which hides load
+// imbalance and lets a simple store queue interleave the p outputs into
+// consecutive dense-vector elements with no extra sorting (§4.2.2).
+//
+// The decisive property: the prefetch buffer is K×dpage bytes regardless
+// of p, whereas the partition-based alternative (§4.1, also implemented
+// here for ablation) needs m×K×dpage and so cannot scale.
+package prap
+
+import (
+	"fmt"
+
+	"mwmerge/internal/bitonic"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/merge"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// invalidKey marks pre-sorter padding lanes on the final, partially filled
+// batch of a list (hardware carries a valid bit per lane).
+const invalidKey = ^uint64(0)
+
+// Config parameterizes a PRaP merge network.
+type Config struct {
+	// Q is the radix width; the network instantiates p = 2^Q merge cores.
+	Q uint
+	// Ways is K, the per-core input list capacity (power of two).
+	Ways int
+	// FIFODepth is the per-stage FIFO capacity of each merge core.
+	FIFODepth int
+	// DPage is the DRAM page size for prefetch-buffer accounting.
+	DPage uint64
+	// RecordBytes is the record width for buffer accounting.
+	RecordBytes int
+}
+
+// DefaultConfig returns the ASIC step-2 network: 16 MCs (q=4) of 2048
+// ways each.
+func DefaultConfig() Config {
+	return Config{Q: 4, Ways: 2048, FIFODepth: 4, DPage: 2 * types.KiB, RecordBytes: types.RecordBytes}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Q > 16 {
+		return fmt.Errorf("prap: radix width %d too large", c.Q)
+	}
+	if c.Ways < 2 || c.Ways&(c.Ways-1) != 0 {
+		return fmt.Errorf("prap: ways %d not a power of two >= 2", c.Ways)
+	}
+	if c.FIFODepth < 1 {
+		return fmt.Errorf("prap: FIFO depth must be positive")
+	}
+	if c.DPage == 0 {
+		return fmt.Errorf("prap: dpage must be positive")
+	}
+	return nil
+}
+
+// Cores returns p = 2^Q.
+func (c Config) Cores() int { return 1 << c.Q }
+
+// PrefetchBufferBytes returns the shared prefetch buffer size, K×dpage —
+// independent of the core count (the PRaP scaling property).
+func (c Config) PrefetchBufferBytes() uint64 {
+	return uint64(c.Ways) * c.DPage
+}
+
+// Stats describes one PRaP merge run.
+type Stats struct {
+	PerCoreInput   []uint64 // records routed to each MC (load imbalance)
+	PerCoreOutput  []uint64 // records emitted by each MC incl. injections
+	Injected       uint64   // missing keys injected across all MCs
+	Emitted        uint64   // dense elements streamed out by the store queue
+	PresortBatches uint64   // batches pushed through the bitonic network
+}
+
+// Network is a PRaP step-2 merge network instance.
+type Network struct {
+	cfg    Config
+	sorter *bitonic.PreSorter
+}
+
+// New builds a PRaP network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ps, err := bitonic.NewPreSorter(cfg.Cores(), cfg.Q)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg, sorter: ps}, nil
+}
+
+// routeLists streams every input list through the radix pre-sorter in
+// batches of p records and scatters the outputs into per-(list, radix)
+// slots, exactly as the prefetch buffer of Fig. 10 is organized. The
+// stability of the pre-sorter guarantees each slot remains key-sorted.
+func (n *Network) routeLists(lists [][]types.Record, st *Stats) ([][][]types.Record, error) {
+	p := n.cfg.Cores()
+	slots := make([][][]types.Record, p) // slots[radix][list]
+	for r := range slots {
+		slots[r] = make([][]types.Record, len(lists))
+	}
+	batch := make([]types.Record, p)
+	for li, list := range lists {
+		for off := 0; off < len(list); off += p {
+			m := copy(batch, list[off:])
+			for i := m; i < p; i++ {
+				batch[i] = types.Record{Key: invalidKey}
+			}
+			if p > 1 {
+				if err := n.sorter.Sort(batch); err != nil {
+					return nil, err
+				}
+			}
+			st.PresortBatches++
+			for _, rec := range batch[:] {
+				if rec.Key == invalidKey {
+					continue
+				}
+				r := int(rec.Radix(n.cfg.Q))
+				slots[r][li] = append(slots[r][li], rec)
+				st.PerCoreInput[r]++
+			}
+		}
+	}
+	return slots, nil
+}
+
+// Merge merges the sorted input lists into a dense vector of the given
+// dimension, adding yIn when non-nil (the +y of y = Ax + y). Input lists
+// must each be sorted by strictly-or-equal ascending key; duplicate keys
+// across or within lists are accumulated. The number of lists must not
+// exceed cfg.Ways.
+func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, Stats, error) {
+	p := n.cfg.Cores()
+	st := Stats{PerCoreInput: make([]uint64, p), PerCoreOutput: make([]uint64, p)}
+	if len(lists) > n.cfg.Ways {
+		return nil, st, fmt.Errorf("prap: %d lists exceed %d ways", len(lists), n.cfg.Ways)
+	}
+	if yIn != nil && uint64(len(yIn)) != dim {
+		return nil, st, fmt.Errorf("prap: yIn dimension %d != %d", len(yIn), dim)
+	}
+	if dim == invalidKey {
+		return nil, st, fmt.Errorf("prap: dimension too large")
+	}
+
+	slots, err := n.routeLists(lists, &st)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Each MC merge-accumulates its residue class, then missing-key
+	// injection densifies its output over keys {r, r+p, r+2p, ...}.
+	perCore := make([][]types.Record, p)
+	for r := 0; r < p; r++ {
+		merged := merge.MergeAccumulate(slots[r])
+		dense, injected := InjectMissingKeys(merged, uint64(r), uint64(p), dim)
+		st.Injected += injected
+		st.PerCoreOutput[r] = uint64(len(dense))
+		perCore[r] = dense
+	}
+
+	// Store queue: cycle c drains y[c·p + r] from MC r — consecutive
+	// dense elements with no reordering logic.
+	out := vector.NewDense(int(dim))
+	if yIn != nil {
+		copy(out, yIn)
+	}
+	cycles := (dim + uint64(p) - 1) / uint64(p)
+	for c := uint64(0); c < cycles; c++ {
+		for r := 0; r < p; r++ {
+			key := c*uint64(p) + uint64(r)
+			if key >= dim {
+				break
+			}
+			rec := perCore[r][c]
+			if rec.Key != key {
+				return nil, st, fmt.Errorf("prap: store queue expected key %d from MC %d, got %d", key, r, rec.Key)
+			}
+			out[key] += rec.Val
+			st.Emitted++
+		}
+	}
+	return out, st, nil
+}
+
+// InjectMissingKeys densifies an ascending record stream over the residue
+// class {radix, radix+p, radix+2p, ...} below dim, inserting zero-valued
+// records for absent keys (paper Fig. 11). It returns the dense stream and
+// the injection count.
+func InjectMissingKeys(in []types.Record, radix, p, dim uint64) ([]types.Record, uint64) {
+	if p == 0 || radix >= p {
+		return nil, 0
+	}
+	count := uint64(0)
+	if dim > radix {
+		count = (dim - radix + p - 1) / p
+	}
+	out := make([]types.Record, 0, count)
+	var injected uint64
+	i := 0
+	for key := radix; key < dim; key += p {
+		if i < len(in) && in[i].Key == key {
+			out = append(out, in[i])
+			i++
+			continue
+		}
+		out = append(out, types.Record{Key: key, Val: 0})
+		injected++
+	}
+	return out, injected
+}
+
+// LoadImbalance returns max/mean per-core input records, the imbalance
+// that missing-key injection hides at the output.
+func (s Stats) LoadImbalance() float64 {
+	if len(s.PerCoreInput) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, v := range s.PerCoreInput {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.PerCoreInput))
+	return float64(max) / mean
+}
+
+// PartitionedMerge implements the §4.1 alternative: the key space is cut
+// into m contiguous partitions, each merged by an independent MC. It
+// produces the same dense result but requires a prefetch buffer of
+// m×K×dpage bytes, reported alongside.
+func PartitionedMerge(lists [][]types.Record, dim uint64, yIn vector.Dense, m int, hbm mem.HBMConfig, ways int) (vector.Dense, uint64, error) {
+	if m < 1 {
+		return nil, 0, fmt.Errorf("prap: partition count must be positive")
+	}
+	if yIn != nil && uint64(len(yIn)) != dim {
+		return nil, 0, fmt.Errorf("prap: yIn dimension %d != %d", len(yIn), dim)
+	}
+	out := vector.NewDense(int(dim))
+	if yIn != nil {
+		copy(out, yIn)
+	}
+	partWidth := (dim + uint64(m) - 1) / uint64(m)
+	for part := 0; part < m; part++ {
+		lo := uint64(part) * partWidth
+		hi := lo + partWidth
+		if hi > dim {
+			hi = dim
+		}
+		sub := make([][]types.Record, len(lists))
+		for i, l := range lists {
+			s, e := searchKey(l, lo), searchKey(l, hi)
+			sub[i] = l[s:e]
+		}
+		for _, rec := range merge.MergeAccumulate(sub) {
+			out[rec.Key] += rec.Val
+		}
+	}
+	bufBytes := hbm.PartitionedPrefetchBytes(m, ways)
+	return out, bufBytes, nil
+}
+
+// searchKey returns the index of the first record with key >= k.
+func searchKey(l []types.Record, k uint64) int {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

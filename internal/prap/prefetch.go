@@ -1,0 +1,127 @@
+package prap
+
+import (
+	"fmt"
+
+	"mwmerge/internal/types"
+)
+
+// PrefetchBuffer is the functional model of Fig. 10's shared on-chip
+// buffer: each of the K input lists owns one DRAM-page-sized slot, and a
+// whole page of records is fetched whenever a list's slot drains. Within a
+// slot, records sit pre-sorted into per-radix sub-queues so each merge
+// core pops only its residue class. The buffer guarantees that every DRAM
+// touch is a full-page streaming transfer — the property that lets step 2
+// saturate streaming bandwidth — and its footprint is K×dpage regardless
+// of the merge-core count.
+type PrefetchBuffer struct {
+	dpage     uint64
+	recBytes  int
+	q         uint
+	lists     [][]types.Record   // backing DRAM contents per list
+	cursor    []int              // next un-fetched record per list
+	slots     [][][]types.Record // [list][radix] queued records
+	slotCount []int              // records currently resident per list
+	stats     PrefetchStats
+}
+
+// PrefetchStats counts DRAM-side behaviour of the buffer.
+type PrefetchStats struct {
+	PageFetches uint64 // full-page streaming transfers issued
+	BytesRead   uint64 // dpage × fetches
+	Underflows  uint64 // pops that had to trigger a fetch first
+}
+
+// NewPrefetchBuffer builds a buffer over the given lists (the
+// intermediate vectors resident in DRAM).
+func NewPrefetchBuffer(lists [][]types.Record, dpage uint64, recBytes int, q uint) (*PrefetchBuffer, error) {
+	if dpage == 0 {
+		return nil, fmt.Errorf("prap: dpage must be positive")
+	}
+	if recBytes <= 0 || uint64(recBytes) > dpage {
+		return nil, fmt.Errorf("prap: record width %d incompatible with page %d", recBytes, dpage)
+	}
+	p := &PrefetchBuffer{
+		dpage:     dpage,
+		recBytes:  recBytes,
+		q:         q,
+		lists:     lists,
+		cursor:    make([]int, len(lists)),
+		slots:     make([][][]types.Record, len(lists)),
+		slotCount: make([]int, len(lists)),
+	}
+	for i := range p.slots {
+		p.slots[i] = make([][]types.Record, 1<<q)
+	}
+	return p, nil
+}
+
+// RecordsPerPage returns how many records one page transfer delivers.
+func (p *PrefetchBuffer) RecordsPerPage() int { return int(p.dpage) / p.recBytes }
+
+// BufferBytes returns the on-chip footprint: one page per list.
+func (p *PrefetchBuffer) BufferBytes() uint64 { return uint64(len(p.lists)) * p.dpage }
+
+// fetch pulls the next page of list li from DRAM through the radix
+// pre-sorter into the per-radix slots. Returns false when the list is
+// exhausted.
+func (p *PrefetchBuffer) fetch(li int) bool {
+	cur := p.cursor[li]
+	if cur >= len(p.lists[li]) {
+		return false
+	}
+	n := p.RecordsPerPage()
+	end := cur + n
+	if end > len(p.lists[li]) {
+		end = len(p.lists[li])
+	}
+	for _, rec := range p.lists[li][cur:end] {
+		r := rec.Radix(p.q)
+		p.slots[li][r] = append(p.slots[li][r], rec)
+		p.slotCount[li]++
+	}
+	p.cursor[li] = end
+	p.stats.PageFetches++
+	p.stats.BytesRead += p.dpage
+	return true
+}
+
+// Pop removes the next record of list li in radix class r. ok=false means
+// the list holds no further records of that class.
+func (p *PrefetchBuffer) Pop(li int, r uint64) (types.Record, bool) {
+	if li < 0 || li >= len(p.lists) || r >= uint64(len(p.slots[li])) {
+		return types.Record{}, false
+	}
+	for len(p.slots[li][r]) == 0 {
+		p.stats.Underflows++
+		if !p.fetch(li) {
+			return types.Record{}, false
+		}
+	}
+	rec := p.slots[li][r][0]
+	p.slots[li][r] = p.slots[li][r][1:]
+	p.slotCount[li]--
+	return rec, true
+}
+
+// Stats returns the accumulated fetch statistics.
+func (p *PrefetchBuffer) Stats() PrefetchStats { return p.stats }
+
+// Source adapts one (list, radix) slot stream to the merge.Source shape.
+type prefetchSource struct {
+	buf *PrefetchBuffer
+	li  int
+	r   uint64
+}
+
+// SlotSource returns an ascending record source for list li's radix-r
+// class, pulling pages on demand.
+func (p *PrefetchBuffer) SlotSource(li int, r uint64) interface {
+	Next() (types.Record, bool)
+} {
+	return &prefetchSource{buf: p, li: li, r: r}
+}
+
+func (s *prefetchSource) Next() (types.Record, bool) {
+	return s.buf.Pop(s.li, s.r)
+}

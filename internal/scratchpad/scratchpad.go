@@ -1,0 +1,131 @@
+// Package scratchpad models the banked on-chip fast memory (eDRAM on the
+// ASIC, BRAM on the FPGA) that holds the source-vector segment during step
+// 1. The P parallel multiplier lanes issue independent random reads; with
+// enough banks these rarely conflict (paper §3.1), and this model counts
+// the conflicts that do occur so the step-1 cycle model can charge stalls.
+package scratchpad
+
+import (
+	"fmt"
+)
+
+// Config describes a banked scratchpad.
+type Config struct {
+	// Bytes is the total capacity.
+	Bytes uint64
+	// Banks is the number of independently addressable banks; an access
+	// to word w goes to bank w % Banks (low-order interleaving).
+	Banks int
+	// WordBytes is the access granularity.
+	WordBytes int
+	// PortsPerBank is how many accesses one bank serves per cycle.
+	PortsPerBank int
+}
+
+// DefaultConfig returns the ASIC scratchpad: 8 MiB of eDRAM in 32 banks of
+// 4-byte words, single-ported.
+func DefaultConfig() Config {
+	return Config{Bytes: 8 << 20, Banks: 32, WordBytes: 4, PortsPerBank: 1}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.Bytes == 0 || c.Banks <= 0 || c.WordBytes <= 0 || c.PortsPerBank <= 0 {
+		return fmt.Errorf("scratchpad: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Words returns the capacity in words.
+func (c Config) Words() uint64 { return c.Bytes / uint64(c.WordBytes) }
+
+// Pad is a banked scratchpad instance with conflict accounting. It stores
+// float64 values addressed by word index (the model stores full-precision
+// values regardless of WordBytes, which only affects capacity accounting).
+type Pad struct {
+	cfg   Config
+	data  []float64
+	stats Stats
+}
+
+// Stats counts scratchpad activity.
+type Stats struct {
+	Accesses      uint64
+	ConflictExtra uint64 // extra cycles serializing conflicting accesses
+	Cycles        uint64 // cycles consumed by batched access groups
+}
+
+// New builds a scratchpad holding up to cfg.Words() values.
+func New(cfg Config) (*Pad, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pad{cfg: cfg, data: make([]float64, cfg.Words())}, nil
+}
+
+// Capacity returns the number of storable words.
+func (p *Pad) Capacity() uint64 { return uint64(len(p.data)) }
+
+// Load copies vals into the scratchpad starting at word 0, modeling the
+// streaming fill of an x segment. It fails if vals exceed capacity.
+func (p *Pad) Load(vals []float64) error {
+	if uint64(len(vals)) > p.Capacity() {
+		return fmt.Errorf("scratchpad: segment of %d words exceeds capacity %d", len(vals), p.Capacity())
+	}
+	copy(p.data, vals)
+	for i := len(vals); i < len(p.data); i++ {
+		p.data[i] = 0
+	}
+	return nil
+}
+
+// Read returns the value at word index w without cycle accounting.
+func (p *Pad) Read(w uint64) (float64, error) {
+	if w >= p.Capacity() {
+		return 0, fmt.Errorf("scratchpad: word %d out of range %d", w, p.Capacity())
+	}
+	return p.data[w], nil
+}
+
+// ReadBatch services one cycle's worth of parallel lane reads. It returns
+// the values and the number of cycles the batch needed: 1 when no bank
+// receives more than PortsPerBank requests, more when conflicts serialize.
+func (p *Pad) ReadBatch(addrs []uint64) ([]float64, uint64, error) {
+	vals := make([]float64, len(addrs))
+	perBank := make(map[int]int, len(addrs))
+	for i, a := range addrs {
+		if a >= p.Capacity() {
+			return nil, 0, fmt.Errorf("scratchpad: word %d out of range %d", a, p.Capacity())
+		}
+		vals[i] = p.data[a]
+		perBank[int(a)%p.cfg.Banks]++
+	}
+	cycles := uint64(1)
+	if len(addrs) == 0 {
+		cycles = 0
+	}
+	for _, n := range perBank {
+		need := uint64((n + p.cfg.PortsPerBank - 1) / p.cfg.PortsPerBank)
+		if need > cycles {
+			cycles = need
+		}
+	}
+	p.stats.Accesses += uint64(len(addrs))
+	if cycles > 1 {
+		p.stats.ConflictExtra += cycles - 1
+	}
+	p.stats.Cycles += cycles
+	return vals, cycles, nil
+}
+
+// Write stores val at word index w.
+func (p *Pad) Write(w uint64, val float64) error {
+	if w >= p.Capacity() {
+		return fmt.Errorf("scratchpad: word %d out of range %d", w, p.Capacity())
+	}
+	p.data[w] = val
+	return nil
+}
+
+// Stats returns accumulated access statistics.
+func (p *Pad) Stats() Stats { return p.stats }

@@ -1,0 +1,140 @@
+package scratchpad
+
+import (
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Bytes: 0, Banks: 4, WordBytes: 4, PortsPerBank: 1},
+		{Bytes: 64, Banks: 0, WordBytes: 4, PortsPerBank: 1},
+		{Bytes: 64, Banks: 4, WordBytes: 0, PortsPerBank: 1},
+		{Bytes: 64, Banks: 4, WordBytes: 4, PortsPerBank: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestLoadAndRead(t *testing.T) {
+	p, err := New(Config{Bytes: 64, Banks: 4, WordBytes: 4, PortsPerBank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 16 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+	if err := p.Load([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Read(1)
+	if err != nil || v != 2 {
+		t.Errorf("Read(1) = %g, %v", v, err)
+	}
+	if _, err := p.Read(16); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := p.Load(make([]float64, 17)); err == nil {
+		t.Error("oversized load accepted")
+	}
+	// Reload with a shorter segment clears the remainder.
+	if err := p.Load([]float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Read(1); v != 0 {
+		t.Errorf("stale value %g after reload", v)
+	}
+}
+
+func TestWrite(t *testing.T) {
+	p, _ := New(Config{Bytes: 64, Banks: 4, WordBytes: 4, PortsPerBank: 1})
+	if err := p.Write(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Read(3); v != 7 {
+		t.Errorf("Read after Write = %g", v)
+	}
+	if err := p.Write(100, 1); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+}
+
+func TestReadBatchNoConflict(t *testing.T) {
+	p, _ := New(Config{Bytes: 256, Banks: 8, WordBytes: 4, PortsPerBank: 1})
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := p.Load(vals); err != nil {
+		t.Fatal(err)
+	}
+	// Addresses 0..7 hit distinct banks: single cycle.
+	got, cycles, err := p.ReadBatch([]uint64{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 {
+		t.Errorf("conflict-free batch took %d cycles", cycles)
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Errorf("got[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestReadBatchConflictsSerialize(t *testing.T) {
+	p, _ := New(Config{Bytes: 256, Banks: 8, WordBytes: 4, PortsPerBank: 1})
+	if err := p.Load(make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Addresses 0, 8, 16, 24 all map to bank 0: four cycles.
+	_, cycles, err := p.ReadBatch([]uint64{0, 8, 16, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 4 {
+		t.Errorf("4-way conflict took %d cycles, want 4", cycles)
+	}
+	st := p.Stats()
+	if st.ConflictExtra != 3 {
+		t.Errorf("ConflictExtra = %d, want 3", st.ConflictExtra)
+	}
+	if st.Accesses != 4 {
+		t.Errorf("Accesses = %d", st.Accesses)
+	}
+}
+
+func TestReadBatchDualPorted(t *testing.T) {
+	p, _ := New(Config{Bytes: 256, Banks: 8, WordBytes: 4, PortsPerBank: 2})
+	if err := p.Load(make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	_, cycles, err := p.ReadBatch([]uint64{0, 8, 16, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 2 {
+		t.Errorf("dual-ported 4-way conflict took %d cycles, want 2", cycles)
+	}
+}
+
+func TestReadBatchEmpty(t *testing.T) {
+	p, _ := New(DefaultConfig())
+	_, cycles, err := p.ReadBatch(nil)
+	if err != nil || cycles != 0 {
+		t.Errorf("empty batch: cycles=%d err=%v", cycles, err)
+	}
+}
+
+func TestReadBatchOutOfRange(t *testing.T) {
+	p, _ := New(Config{Bytes: 64, Banks: 4, WordBytes: 4, PortsPerBank: 1})
+	if _, _, err := p.ReadBatch([]uint64{100}); err == nil {
+		t.Error("out-of-range batch accepted")
+	}
+}

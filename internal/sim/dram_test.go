@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/mem"
+)
+
+func TestReplayDRAMStreamingHitsRows(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, err := graph.ErdosRenyi(20000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.ReplayDRAM(a, mem.DefaultRowBufferConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §2.1 claim: Two-Step's DRAM traffic is all streaming.
+	if hr := rep.OverallHitRate(); hr < 0.95 {
+		t.Errorf("Two-Step overall row hit rate %.3f, want > 0.95", hr)
+	}
+	// The latency-bound gathers on the same data mostly miss.
+	if hr := rep.GatherBaseline.HitRate(); hr > 0.5 {
+		t.Errorf("gather hit rate %.3f, expected mostly misses", hr)
+	}
+	// Per-access cost asymmetry: streams near tCL, gathers near
+	// tCL + activate.
+	if rep.Matrix.CyclesPerAccess() >= rep.GatherBaseline.CyclesPerAccess() {
+		t.Error("matrix stream not cheaper per access than gathers")
+	}
+}
+
+func TestReplayDRAMCoversAllStreams(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, _ := graph.ErdosRenyi(5000, 3, 2)
+	rep, err := m.ReplayDRAM(a, mem.DefaultRowBufferConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]mem.RowBufferStats{
+		"matrix": rep.Matrix, "x": rep.SourceVector,
+		"intermediate": rep.Intermediate, "y": rep.Result,
+	} {
+		if s.Accesses == 0 {
+			t.Errorf("stream %s recorded no accesses", name)
+		}
+	}
+	out := FormatDRAMReport(rep)
+	if !strings.Contains(out, "row hits") || !strings.Contains(out, "gathers") {
+		t.Errorf("report format incomplete:\n%s", out)
+	}
+}
+
+func TestReplayDRAMIntermediateRoundTrip(t *testing.T) {
+	// The intermediate stream is written once and read once: accesses
+	// must be even and symmetric.
+	m, _ := New(DefaultConfig())
+	a, _ := graph.ErdosRenyi(8000, 4, 3)
+	rep, err := m.ReplayDRAM(a, mem.DefaultRowBufferConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Intermediate.Accesses%2 != 0 {
+		t.Errorf("intermediate accesses %d not an even round trip", rep.Intermediate.Accesses)
+	}
+}

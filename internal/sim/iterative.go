@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+// IterativeReport summarizes a multi-iteration simulated run.
+type IterativeReport struct {
+	// PerIteration carries each iteration's phase report.
+	PerIteration []Report
+	// SequentialCycles is the TS schedule: every phase back to back,
+	// plus the y→x DRAM transition between iterations.
+	SequentialCycles uint64
+	// OverlappedCycles is the ITS schedule: step 1 of iteration i+1
+	// runs concurrently with step 2 of iteration i, and the transition
+	// round trip disappears.
+	OverlappedCycles uint64
+	// TransitionCycles is the per-transition DRAM round-trip cost the
+	// overlap eliminates.
+	TransitionCycles uint64
+}
+
+// Speedup returns sequential/overlapped.
+func (r IterativeReport) Speedup() float64 {
+	if r.OverlappedCycles == 0 {
+		return 1
+	}
+	return float64(r.SequentialCycles) / float64(r.OverlappedCycles)
+}
+
+// RunIterative simulates iters applications of x ← A·x and returns the
+// final vector along with both schedules' cycle counts. The ITS schedule
+// (paper Fig. 15) is computed from the measured per-iteration phase
+// costs:
+//
+//	sequential: Σ_i (load_i + step1_i + step2_i) + (iters-1)·transition
+//	overlapped: load_0 + step1_0 + Σ_i max(step2_i, load_{i+1}+step1_{i+1}) + step2_last
+//
+// Functionally the two schedules are identical; only timing differs.
+func (m *Machine) RunIterative(a *matrix.COO, x0 vector.Dense, iters int, damping float64) (vector.Dense, IterativeReport, error) {
+	var rep IterativeReport
+	if iters < 1 {
+		return nil, rep, fmt.Errorf("sim: iteration count must be positive")
+	}
+	if a.Rows != a.Cols {
+		return nil, rep, fmt.Errorf("sim: iterative run needs a square matrix")
+	}
+
+	// Transition: stream y out and back in as the next x, at the DRAM
+	// interface width (one scratchpad fill's worth of cycles each way).
+	banks := uint64(m.cfg.Scratchpad.Banks)
+	rep.TransitionCycles = 2 * ((a.Rows + banks - 1) / banks)
+
+	x := x0.Clone()
+	rep.PerIteration = make([]Report, 0, iters)
+	for it := 0; it < iters; it++ {
+		y, r, err := m.Run(a, x)
+		if err != nil {
+			return nil, rep, fmt.Errorf("sim: iteration %d: %w", it, err)
+		}
+		if damping != 0 {
+			y.Scale(damping)
+			base := (1 - damping) / float64(a.Rows)
+			for i := range y {
+				y[i] += base
+			}
+		}
+		x = y
+		rep.PerIteration = append(rep.PerIteration, r)
+	}
+
+	step2Of := func(r Report) uint64 {
+		s := r.PresortCycles
+		if r.Step2Cycles > s {
+			s = r.Step2Cycles
+		}
+		if r.StoreQueueCycles > s {
+			s = r.StoreQueueCycles
+		}
+		return s
+	}
+	step1Of := func(r Report) uint64 { return r.SegmentLoadCycles + r.Step1Cycles }
+
+	for i, r := range rep.PerIteration {
+		rep.SequentialCycles += step1Of(r) + step2Of(r)
+		if i < iters-1 {
+			rep.SequentialCycles += rep.TransitionCycles
+		}
+	}
+	rep.OverlappedCycles = step1Of(rep.PerIteration[0])
+	for i := 0; i < iters; i++ {
+		s2 := step2Of(rep.PerIteration[i])
+		if i < iters-1 {
+			if s1 := step1Of(rep.PerIteration[i+1]); s1 > s2 {
+				s2 = s1
+			}
+		}
+		rep.OverlappedCycles += s2
+	}
+	return x, rep, nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+)
+
+func TestRunIterativeMatchesReference(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, err := graph.ErdosRenyi(10000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := randomX(10000, 2)
+	got, rep, err := m.RunIterative(a, x0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := x0.Clone()
+	for i := 0; i < 3; i++ {
+		want, _ = core.ReferenceSpMV(a, want, nil)
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-6 {
+		t.Errorf("iterative result diff %g", d)
+	}
+	if len(rep.PerIteration) != 3 {
+		t.Errorf("reports for %d iterations", len(rep.PerIteration))
+	}
+}
+
+func TestITSOverlapSpeedsUpIterations(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, err := graph.ErdosRenyi(30000, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := m.RunIterative(a, randomX(30000, 4), 5, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverlappedCycles >= rep.SequentialCycles {
+		t.Errorf("ITS %d cycles not below TS %d", rep.OverlappedCycles, rep.SequentialCycles)
+	}
+	if rep.Speedup() < 1.1 {
+		t.Errorf("ITS speedup %.3f too small", rep.Speedup())
+	}
+	// Overlap cannot be faster than the sum of the slower phase of each
+	// iteration step pair — sanity floor: at least one phase per
+	// iteration remains serialized.
+	var floor uint64
+	for _, r := range rep.PerIteration {
+		s1 := r.SegmentLoadCycles + r.Step1Cycles
+		s2 := r.Step2Cycles
+		if s1 > s2 {
+			floor += s1
+		} else {
+			floor += s2
+		}
+	}
+	if rep.OverlappedCycles < floor {
+		t.Errorf("overlap %d below physical floor %d", rep.OverlappedCycles, floor)
+	}
+}
+
+func TestITSEliminatesTransitions(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, _ := graph.ErdosRenyi(10000, 3, 5)
+	_, rep, err := m.RunIterative(a, randomX(10000, 6), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransitionCycles == 0 {
+		t.Fatal("no transition cost modeled")
+	}
+	// The sequential schedule carries iters-1 transitions; the
+	// overlapped one carries none. Their difference must include them.
+	savings := rep.SequentialCycles - rep.OverlappedCycles
+	if savings < 3*rep.TransitionCycles {
+		t.Errorf("savings %d below the 3 eliminated transitions (%d each)", savings, rep.TransitionCycles)
+	}
+}
+
+func TestRunIterativeRejectsBadArgs(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a := graph.Diagonal(100, 1)
+	if _, _, err := m.RunIterative(a, randomX(100, 7), 0, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	rect, _ := graph.ErdosRenyi(100, 2, 8)
+	_ = rect
+	// Build a rectangular matrix directly.
+	x := randomX(100, 9)
+	_ = x
+}
+
+func TestRunIterativeDampingNormalizes(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, err := graph.Zipf(5000, 6, 1.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := randomX(5000, 11)
+	got, _, err := m.RunIterative(a, x0, 2, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror with the reference pipeline.
+	want := x0.Clone()
+	for i := 0; i < 2; i++ {
+		want, _ = core.ReferenceSpMV(a, want, nil)
+		want.Scale(0.85)
+		base := (1 - 0.85) / float64(a.Rows)
+		for j := range want {
+			want[j] += base
+		}
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-6 {
+		t.Errorf("damped iterative diff %g", d)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"mwmerge/internal/prap"
+	"mwmerge/internal/scratchpad"
+)
+
+// ASICScaledConfig returns the fabricated ASIC's proportions scaled to
+// laptop-runnable sizes: 16 merge cores (q=4) like the chip, 64 lanes,
+// 256 KiB scratchpad in 32 banks at 1.4 GHz. The ways are reduced from
+// 2048 to 256 to keep simulated runs fast while preserving the
+// cores-to-ways ratio regime.
+func ASICScaledConfig() Config {
+	c := DefaultConfig()
+	c.FreqHz = 1.4e9
+	c.Lanes = 64
+	c.Scratchpad = scratchpad.Config{Bytes: 256 << 10, Banks: 32, WordBytes: 8, PortsPerBank: 1}
+	c.Merge = prap.Config{Q: 4, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16}
+	return c
+}
+
+// FPGA1ScaledConfig mirrors the large-problem FPGA point: 16 cores of
+// wide (64-way) trees at 300 MHz with 32 lanes.
+func FPGA1ScaledConfig() Config {
+	c := DefaultConfig()
+	c.FreqHz = 300e6
+	c.Lanes = 32
+	c.Scratchpad = scratchpad.Config{Bytes: 128 << 10, Banks: 16, WordBytes: 8, PortsPerBank: 1}
+	c.Merge = prap.Config{Q: 4, Ways: 64, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16}
+	return c
+}
+
+// FPGA2ScaledConfig mirrors the high-throughput FPGA point: 32 cores of
+// narrow (32-way) trees at 300 MHz.
+func FPGA2ScaledConfig() Config {
+	c := DefaultConfig()
+	c.FreqHz = 300e6
+	c.Lanes = 32
+	c.Scratchpad = scratchpad.Config{Bytes: 128 << 10, Banks: 16, WordBytes: 8, PortsPerBank: 1}
+	c.Merge = prap.Config{Q: 5, Ways: 32, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16}
+	return c
+}

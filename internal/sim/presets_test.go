@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+)
+
+func TestPresetsValidateAndRun(t *testing.T) {
+	presets := map[string]Config{
+		"asic":  ASICScaledConfig(),
+		"fpga1": FPGA1ScaledConfig(),
+		"fpga2": FPGA2ScaledConfig(),
+	}
+	a, err := graph.ErdosRenyi(20000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(20000, 2)
+	want, _ := core.ReferenceSpMV(a, x, nil)
+	for name, cfg := range presets {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, rep, err := m.Run(a, x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("%s: diff %g", name, d)
+		}
+		if rep.TotalCycles() == 0 {
+			t.Errorf("%s: no cycles", name)
+		}
+	}
+}
+
+func TestPresetsReflectDesignTradeoffs(t *testing.T) {
+	// FPGA2 has more, narrower cores than FPGA1 — more step-2
+	// parallelism on the same workload.
+	a, _ := graph.ErdosRenyi(30000, 4, 3)
+	x := randomX(30000, 4)
+	m1, _ := New(FPGA1ScaledConfig())
+	m2, _ := New(FPGA2ScaledConfig())
+	_, r1, err := m1.Run(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := m2.Run(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Step2Cycles >= r1.Step2Cycles {
+		t.Errorf("FPGA2 step2 %d not below FPGA1 %d despite 2x cores", r2.Step2Cycles, r1.Step2Cycles)
+	}
+}

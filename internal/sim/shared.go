@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+
+	"mwmerge/internal/merge"
+	"mwmerge/internal/types"
+)
+
+// SharedStep2Report describes a lock-step simulation of the p merge cores
+// contending for one DRAM interface of fixed width.
+type SharedStep2Report struct {
+	// InterfaceRecordsPerCycle is the shared refill budget.
+	InterfaceRecordsPerCycle int
+	// Cycles is the makespan until every core drains.
+	Cycles uint64
+	// Emitted is the total records produced across cores.
+	Emitted uint64
+	// RefillDenied counts refill requests deferred because the
+	// interface budget ran out that cycle.
+	RefillDenied uint64
+	// PerCore carries each core's final statistics.
+	PerCore []merge.CoreStats
+}
+
+// AggregateRecordsPerCycle returns emitted/cycles — p when the interface
+// keeps up, less when the cores starve.
+func (r SharedStep2Report) AggregateRecordsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Emitted) / float64(r.Cycles)
+}
+
+// RunStep2Shared simulates the PRaP step-2 network lock-step: on each
+// cycle, every core advances once, and leaf refills across all cores draw
+// from one shared DRAM interface budget (round-robin rotated per cycle so
+// no core has static priority). This exposes the bandwidth-starvation
+// regime the Table 2 sizing avoids: the interface must deliver at least p
+// records per cycle or the merge network cannot sustain p outputs per
+// cycle.
+func (m *Machine) RunStep2Shared(lists [][]types.Record, dim uint64, interfaceRecs int) (SharedStep2Report, error) {
+	rep := SharedStep2Report{InterfaceRecordsPerCycle: interfaceRecs}
+	if interfaceRecs < 1 {
+		return rep, fmt.Errorf("sim: interface width must be positive")
+	}
+	p := m.cfg.Merge.Cores()
+	if len(lists) > m.cfg.Merge.Ways {
+		return rep, fmt.Errorf("sim: %d lists exceed %d ways", len(lists), m.cfg.Merge.Ways)
+	}
+
+	// Route records into per-radix slot lists (stable by construction).
+	slots := make([][][]types.Record, p)
+	for r := range slots {
+		slots[r] = make([][]types.Record, len(lists))
+	}
+	for li, list := range lists {
+		for _, rec := range list {
+			r := int(rec.Radix(m.cfg.Merge.Q))
+			slots[r][li] = append(slots[r][li], rec)
+		}
+	}
+
+	cores := make([]*merge.Core, p)
+	var totalRecords uint64
+	for r := 0; r < p; r++ {
+		sources := make([]merge.Source, len(slots[r]))
+		for i, l := range slots[r] {
+			sources[i] = merge.NewSliceSource(l)
+			totalRecords += uint64(len(l))
+		}
+		c, err := merge.NewCore(merge.CoreConfig{
+			Ways:        m.cfg.Merge.Ways,
+			FIFODepth:   m.cfg.MergeFIFODepth,
+			RecordBytes: m.cfg.Merge.RecordBytes,
+		}, sources)
+		if err != nil {
+			return rep, err
+		}
+		cores[r] = c
+	}
+
+	limit := (totalRecords + 4096) * 16
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	for {
+		allDone := true
+		for _, c := range cores {
+			if !c.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		if rep.Cycles > limit {
+			return rep, fmt.Errorf("sim: shared step 2 exceeded %d cycles", limit)
+		}
+		rep.Cycles++
+		budget := interfaceRecs
+		// Rotate service order each cycle (round-robin fairness).
+		first := int(rep.Cycles) % p
+		for i := 0; i < p; i++ {
+			order[i] = (first + i) % p
+		}
+		for _, r := range order {
+			c := cores[r]
+			if c.Done() {
+				continue
+			}
+			_, emitted, used := c.Step(budget)
+			budget -= used
+			if emitted {
+				rep.Emitted++
+			}
+			if budget == 0 && !c.Done() {
+				rep.RefillDenied++
+			}
+		}
+	}
+	rep.PerCore = make([]merge.CoreStats, p)
+	for r, c := range cores {
+		rep.PerCore[r] = c.Stats()
+	}
+	return rep, nil
+}

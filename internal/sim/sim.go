@@ -1,0 +1,396 @@
+// Package sim is the cycle-approximate simulator of the whole accelerator:
+// it executes Two-Step SpMV through models of every hardware block — the
+// banked scratchpad (bank-conflict stalls), the P-lane step-1 pipeline,
+// the bitonic radix pre-sorter, the per-radix Merge Cores with SRAM-packed
+// pipeline FIFOs, missing-key injection and the store queue — and reports
+// a per-phase cycle budget. Where internal/core answers "is the datapath
+// correct?", sim answers "how many cycles does it take and where do they
+// go?".
+package sim
+
+import (
+	"fmt"
+
+	"mwmerge/internal/bitonic"
+	"mwmerge/internal/hdn"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/merge"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/scratchpad"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// Config parameterizes the simulated machine.
+type Config struct {
+	// FreqHz converts cycles to seconds.
+	FreqHz float64
+	// Lanes is P, the step-1 multiplier/adder-chain lane count.
+	Lanes int
+	// Scratchpad models the x-segment store.
+	Scratchpad scratchpad.Config
+	// ValueBytes sets the stored vector precision (capacity only).
+	ValueBytes int
+	// Merge is the step-2 PRaP shape.
+	Merge prap.Config
+	// MergeFIFODepth is the per-stage FIFO depth inside each MC.
+	MergeFIFODepth int
+	// FillPerCycle bounds leaf refills per MC per cycle (the DRAM
+	// interface share of each core).
+	FillPerCycle int
+	// HDN, when non-nil, enables the dual-pipeline step-1 model: rows
+	// detected as High Degree Nodes by the Bloom filter accumulate on a
+	// dedicated pipeline and dodge the adder-chain hazard stalls (§5.3).
+	HDN *hdn.Config
+	// Accum models the accumulator hazard costs.
+	Accum hdn.PipelineModel
+}
+
+// DefaultConfig returns a laptop-scale simulated machine: 8 lanes, 64 KiB
+// scratchpad in 16 banks, 4 MCs of 64 ways at 1.4 GHz.
+func DefaultConfig() Config {
+	return Config{
+		FreqHz: 1.4e9,
+		Lanes:  8,
+		Accum:  hdn.DefaultPipelineModel(),
+		Scratchpad: scratchpad.Config{
+			Bytes: 64 << 10, Banks: 16, WordBytes: 8, PortsPerBank: 1,
+		},
+		ValueBytes:     8,
+		Merge:          prap.Config{Q: 2, Ways: 64, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16},
+		MergeFIFODepth: 8,
+		FillPerCycle:   16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("sim: frequency must be positive")
+	}
+	if c.Lanes < 1 {
+		return fmt.Errorf("sim: lane count must be positive")
+	}
+	if c.ValueBytes < 1 {
+		return fmt.Errorf("sim: value bytes must be positive")
+	}
+	if c.MergeFIFODepth < 1 {
+		return fmt.Errorf("sim: merge FIFO depth must be positive")
+	}
+	if err := c.Scratchpad.Validate(); err != nil {
+		return err
+	}
+	return c.Merge.Validate()
+}
+
+// SegmentWidth returns the x-segment width in elements.
+func (c Config) SegmentWidth() uint64 {
+	return c.Scratchpad.Bytes / uint64(c.Scratchpad.WordBytes)
+}
+
+// Report is the per-phase cycle budget of one simulated SpMV.
+type Report struct {
+	// Step1Cycles covers the multiply/accumulate passes over all
+	// stripes, including bank-conflict serialization.
+	Step1Cycles uint64
+	// BankConflictStalls is the subset of Step1Cycles lost to
+	// scratchpad bank conflicts.
+	BankConflictStalls uint64
+	// SegmentLoadCycles covers streaming x segments into the
+	// scratchpad.
+	SegmentLoadCycles uint64
+	// PresortCycles covers the bitonic radix pre-sorter batches.
+	PresortCycles uint64
+	// Step2Cycles is the slowest merge core's cycle count (the MCs run
+	// in parallel).
+	Step2Cycles uint64
+	// PerCore carries each MC's cycle statistics.
+	PerCore []merge.CoreStats
+	// StoreQueueCycles covers draining the dense output, p records per
+	// cycle.
+	StoreQueueCycles uint64
+	// Injected counts the missing keys inserted at MC outputs.
+	Injected uint64
+	// AccumStallCycles counts adder-chain hazard stalls charged to the
+	// general pipeline (long same-row runs); rows routed to the HDN
+	// pipeline avoid them.
+	AccumStallCycles uint64
+	// HDNPipelineCycles is the dedicated pipeline's concurrent work.
+	HDNPipelineCycles uint64
+}
+
+// TotalCycles returns the end-to-end cycle count with sequential phases
+// (TS semantics): segment loads and step 1, then pre-sort, merge and
+// drain. Pre-sort overlaps the merge (it is a pipeline stage), so only
+// the larger of the two counts.
+func (r Report) TotalCycles() uint64 {
+	step2 := r.PresortCycles
+	if r.Step2Cycles > step2 {
+		step2 = r.Step2Cycles
+	}
+	if r.StoreQueueCycles > step2 {
+		step2 = r.StoreQueueCycles
+	}
+	return r.SegmentLoadCycles + r.Step1Cycles + step2
+}
+
+// OverlappedCycles returns the per-iteration cycle count under ITS
+// semantics: step 1 of the next iteration hides behind step 2 of the
+// current one.
+func (r Report) OverlappedCycles() uint64 {
+	s1 := r.SegmentLoadCycles + r.Step1Cycles
+	step2 := r.PresortCycles
+	if r.Step2Cycles > step2 {
+		step2 = r.Step2Cycles
+	}
+	if r.StoreQueueCycles > step2 {
+		step2 = r.StoreQueueCycles
+	}
+	if s1 > step2 {
+		return s1
+	}
+	return step2
+}
+
+// Seconds converts a cycle count at the configured frequency.
+func (c Config) Seconds(cycles uint64) float64 {
+	return float64(cycles) / c.FreqHz
+}
+
+// Machine is a simulated accelerator instance.
+type Machine struct {
+	cfg    Config
+	sorter *bitonic.PreSorter
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ps, err := bitonic.NewPreSorter(cfg.Merge.Cores(), cfg.Merge.Q)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, sorter: ps}, nil
+}
+
+// Run simulates y = A·x and returns the result with its cycle report. The
+// result is bit-identical to the functional engine's (same accumulation
+// order); tests assert this.
+func (m *Machine) Run(a *matrix.COO, x vector.Dense) (vector.Dense, Report, error) {
+	var rep Report
+	if uint64(len(x)) != a.Cols {
+		return nil, rep, fmt.Errorf("sim: x dimension %d != %d columns", len(x), a.Cols)
+	}
+	width := m.cfg.SegmentWidth()
+	stripes, err := matrix.Partition1D(a, width)
+	if err != nil {
+		return nil, rep, err
+	}
+	if len(stripes) > m.cfg.Merge.Ways {
+		return nil, rep, fmt.Errorf("sim: %d stripes exceed %d merge ways", len(stripes), m.cfg.Merge.Ways)
+	}
+
+	var det *hdn.Detector
+	if m.cfg.HDN != nil {
+		det, err = hdn.Build(a, *m.cfg.HDN)
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+	lists, err := m.runStep1(stripes, x, det, &rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Adder-chain hazard stalls serialize on the general pipeline; the
+	// HDN pipeline's work proceeds concurrently and only lengthens step
+	// 1 if it becomes the critical path.
+	rep.Step1Cycles += rep.AccumStallCycles
+	if rep.HDNPipelineCycles > rep.Step1Cycles {
+		rep.Step1Cycles = rep.HDNPipelineCycles
+	}
+	return m.runStep2(lists, a.Rows, &rep)
+}
+
+// runStep1 executes the P-lane partial SpMV per stripe against the banked
+// scratchpad.
+func (m *Machine) runStep1(stripes []*matrix.Stripe, x vector.Dense, det *hdn.Detector, rep *Report) ([][]types.Record, error) {
+	pad, err := scratchpad.New(m.cfg.Scratchpad)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]types.Record, len(stripes))
+	addrs := make([]uint64, 0, m.cfg.Lanes)
+	for k, s := range stripes {
+		seg := x[s.ColStart : s.ColStart+s.Width]
+		if err := pad.Load(seg); err != nil {
+			return nil, err
+		}
+		// Streaming fill: one scratchpad word per cycle per bank group;
+		// model as width / banks cycles (wide fill port).
+		rep.SegmentLoadCycles += (s.Width + uint64(m.cfg.Scratchpad.Banks) - 1) / uint64(m.cfg.Scratchpad.Banks)
+
+		v := vector.NewSparse(int(s.Rows), s.NNZ())
+		ents := s.Entries
+		for off := 0; off < len(ents); off += m.cfg.Lanes {
+			end := off + m.cfg.Lanes
+			if end > len(ents) {
+				end = len(ents)
+			}
+			addrs = addrs[:0]
+			for _, e := range ents[off:end] {
+				addrs = append(addrs, e.Col)
+			}
+			vals, cycles, err := pad.ReadBatch(addrs)
+			if err != nil {
+				return nil, err
+			}
+			rep.Step1Cycles += cycles
+			if cycles > 1 {
+				rep.BankConflictStalls += cycles - 1
+			}
+			for i, e := range ents[off:end] {
+				if err := v.Accumulate(e.Row, e.Val*vals[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		m.chargeAccumulatorStalls(s, det, rep)
+		lists[k] = v.Recs
+	}
+	return lists, nil
+}
+
+// chargeAccumulatorStalls walks the stripe's same-row run lengths and
+// charges adder-chain hazard stalls: the general pipeline pays the
+// dependent-add penalty on runs beyond its chain depth, while rows
+// Bloom-routed to the HDN pipeline accumulate there concurrently.
+func (m *Machine) chargeAccumulatorStalls(s *matrix.Stripe, det *hdn.Detector, rep *Report) {
+	flush := func(row uint64, run uint64) {
+		if run == 0 {
+			return
+		}
+		if det != nil && det.IsHDN(row) {
+			rep.HDNPipelineCycles += m.cfg.Accum.HDNRunCycles(run)
+			return
+		}
+		if stall := m.cfg.Accum.GeneralRunCycles(run) - run; stall > 0 {
+			rep.AccumStallCycles += stall
+		}
+	}
+	var run uint64
+	var row uint64
+	have := false
+	for _, e := range s.Entries {
+		if have && e.Row == row {
+			run++
+			continue
+		}
+		flush(row, run)
+		row, run, have = e.Row, 1, true
+	}
+	flush(row, run)
+}
+
+// runStep2 routes the lists through the radix pre-sorter into per-radix
+// slots and runs one cycle-modeled Merge Core per radix, then injects
+// missing keys and drains the store queue.
+func (m *Machine) runStep2(lists [][]types.Record, dim uint64, rep *Report) (vector.Dense, Report, error) {
+	p := m.cfg.Merge.Cores()
+	slots := make([][][]types.Record, p) // [radix][list]
+	for r := range slots {
+		slots[r] = make([][]types.Record, len(lists))
+	}
+	batch := make([]types.Record, p)
+	const invalid = ^uint64(0)
+	for li, list := range lists {
+		for off := 0; off < len(list); off += p {
+			n := copy(batch, list[off:])
+			for i := n; i < p; i++ {
+				batch[i] = types.Record{Key: invalid}
+			}
+			if p > 1 {
+				if err := m.sorter.Sort(batch); err != nil {
+					return nil, *rep, err
+				}
+			}
+			rep.PresortCycles++
+			for _, rec := range batch {
+				if rec.Key == invalid {
+					continue
+				}
+				r := int(rec.Radix(m.cfg.Merge.Q))
+				slots[r][li] = append(slots[r][li], rec)
+			}
+		}
+	}
+
+	perCore := make([][]types.Record, p)
+	rep.PerCore = make([]merge.CoreStats, p)
+	for r := 0; r < p; r++ {
+		sources := make([]merge.Source, len(slots[r]))
+		for i, l := range slots[r] {
+			sources[i] = merge.NewSliceSource(l)
+		}
+		coreCfg := merge.CoreConfig{
+			Ways:         m.cfg.Merge.Ways,
+			FIFODepth:    m.cfg.MergeFIFODepth,
+			RecordBytes:  m.cfg.Merge.RecordBytes,
+			FillPerCycle: m.cfg.FillPerCycle,
+		}
+		c, err := merge.NewCore(coreCfg, sources)
+		if err != nil {
+			return nil, *rep, err
+		}
+		var sorted []types.Record
+		st, err := c.Run(func(rec types.Record) { sorted = append(sorted, rec) })
+		if err != nil {
+			return nil, *rep, err
+		}
+		rep.PerCore[r] = st
+		if st.Cycles > rep.Step2Cycles {
+			rep.Step2Cycles = st.Cycles
+		}
+		// Accumulate duplicates (the adder at each MC output), then
+		// inject missing keys.
+		acc := accumulate(sorted)
+		dense, injected := prap.InjectMissingKeys(acc, uint64(r), uint64(p), dim)
+		rep.Injected += injected
+		perCore[r] = dense
+	}
+
+	out := vector.NewDense(int(dim))
+	cycles := (dim + uint64(p) - 1) / uint64(p)
+	rep.StoreQueueCycles = cycles
+	for c := uint64(0); c < cycles; c++ {
+		for r := 0; r < p; r++ {
+			key := c*uint64(p) + uint64(r)
+			if key >= dim {
+				break
+			}
+			rec := perCore[r][c]
+			if rec.Key != key {
+				return nil, *rep, fmt.Errorf("sim: store queue expected key %d from MC %d, got %d", key, r, rec.Key)
+			}
+			out[key] += rec.Val
+		}
+	}
+	return out, *rep, nil
+}
+
+// accumulate sums consecutive equal keys of a sorted stream.
+func accumulate(recs []types.Record) []types.Record {
+	out := recs[:0:len(recs)]
+	for _, r := range recs {
+		if n := len(out); n > 0 && out[n-1].Key == r.Key {
+			out[n-1].Val += r.Val
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }

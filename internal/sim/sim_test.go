@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/scratchpad"
+	"mwmerge/internal/vector"
+)
+
+func randomX(n uint64, seed int64) vector.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := vector.NewDense(int(n))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.FreqHz = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	c = DefaultConfig()
+	c.Lanes = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	c = DefaultConfig()
+	c.MergeFIFODepth = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero FIFO depth accepted")
+	}
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := graph.ErdosRenyi(20000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(20000, 2)
+	got, rep, err := m.Run(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ReferenceSpMV(a, x, nil)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("simulated result max diff %g", d)
+	}
+	if rep.Step1Cycles == 0 || rep.Step2Cycles == 0 || rep.StoreQueueCycles == 0 {
+		t.Errorf("cycle report incomplete: %+v", rep)
+	}
+}
+
+func TestRunMatchesFunctionalEngine(t *testing.T) {
+	// The simulator and the functional engine must produce identical
+	// vectors (same accumulation structure).
+	cfg := DefaultConfig()
+	m, _ := New(cfg)
+	a, _ := graph.ErdosRenyi(10000, 4, 3)
+	x := randomX(10000, 4)
+	got, _, err := m.Run(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(core.Config{
+		ScratchpadBytes: cfg.Scratchpad.Bytes,
+		ValueBytes:      cfg.Scratchpad.WordBytes,
+		MetaBytes:       8,
+		Lanes:           cfg.Lanes,
+		Merge:           cfg.Merge,
+		HBM:             hbmForTests(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.SpMV(a, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("simulator and engine disagree by %g", d)
+	}
+}
+
+func TestCyclesScaleWithWork(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	small, _ := graph.ErdosRenyi(5000, 3, 5)
+	large, _ := graph.ErdosRenyi(20000, 3, 5)
+	_, repS, err := m.Run(small, randomX(5000, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repL, err := m.Run(large, randomX(20000, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repL.TotalCycles() <= repS.TotalCycles() {
+		t.Errorf("4x work did not increase cycles: %d vs %d", repL.TotalCycles(), repS.TotalCycles())
+	}
+	// Step 1 throughput cannot exceed Lanes entries/cycle.
+	minCycles := uint64(large.NNZ()) / uint64(DefaultConfig().Lanes)
+	if repL.Step1Cycles < minCycles {
+		t.Errorf("step 1 cycles %d below the lane bound %d", repL.Step1Cycles, minCycles)
+	}
+}
+
+func TestOverlappedBelowSequential(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, _ := graph.ErdosRenyi(30000, 3, 7)
+	_, rep, err := m.Run(a, randomX(30000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverlappedCycles() >= rep.TotalCycles() {
+		t.Errorf("ITS overlap %d not below sequential %d", rep.OverlappedCycles(), rep.TotalCycles())
+	}
+	// Overlap cannot beat the slower phase.
+	if rep.OverlappedCycles() < rep.Step1Cycles {
+		t.Errorf("overlap %d below step-1 floor %d", rep.OverlappedCycles(), rep.Step1Cycles)
+	}
+	if m.cfg.Seconds(rep.TotalCycles()) <= 0 {
+		t.Error("seconds conversion broken")
+	}
+}
+
+func TestBankConflictsReported(t *testing.T) {
+	// A single-bank scratchpad forces total serialization: with P lanes
+	// each batch takes P cycles.
+	cfg := DefaultConfig()
+	cfg.Scratchpad = scratchpad.Config{Bytes: 64 << 10, Banks: 1, WordBytes: 8, PortsPerBank: 1}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := graph.ErdosRenyi(5000, 3, 9)
+	_, rep, err := m.Run(a, randomX(5000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BankConflictStalls == 0 {
+		t.Error("single-bank scratchpad produced no conflict stalls")
+	}
+	// Many banks: far fewer stalls.
+	cfg.Scratchpad.Banks = 64
+	m2, _ := New(cfg)
+	_, rep2, err := m2.Run(a, randomX(5000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BankConflictStalls*2 > rep.BankConflictStalls {
+		t.Errorf("64 banks (%d stalls) not far below 1 bank (%d stalls)",
+			rep2.BankConflictStalls, rep.BankConflictStalls)
+	}
+}
+
+func TestMergeCoreParallelismShrinksStep2(t *testing.T) {
+	a, _ := graph.ErdosRenyi(20000, 5, 11)
+	x := randomX(20000, 12)
+	cyclesAt := func(q uint) uint64 {
+		cfg := DefaultConfig()
+		cfg.Merge = prap.Config{Q: q, Ways: 64, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := m.Run(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Step2Cycles
+	}
+	c0 := cyclesAt(0)
+	c3 := cyclesAt(3)
+	if float64(c3) > 0.4*float64(c0) {
+		t.Errorf("8 MCs (%d cycles) should cut step 2 well below 1 MC (%d cycles)", c3, c0)
+	}
+}
+
+func TestRejectsOversizedProblem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Merge.Ways = 2 // capacity = 2 stripes
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graph.Diagonal(cfg.SegmentWidth()*3, 1)
+	if _, _, err := m.Run(a, vector.NewDense(int(a.Cols))); err == nil {
+		t.Error("3-stripe problem accepted by 2-way machine")
+	}
+}
+
+func TestRejectsBadX(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a := graph.Diagonal(100, 1)
+	if _, _, err := m.Run(a, vector.NewDense(50)); err == nil {
+		t.Error("wrong x dimension accepted")
+	}
+}
+
+// hbmForTests returns the default HBM model (helper to avoid an import
+// cycle in test setup).
+func hbmForTests() mem.HBMConfig { return mem.DefaultHBM() }

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"mwmerge/internal/trace"
+)
+
+// Timeline converts an iterative run's reports into phase timelines for
+// both schedules — the visual form of Fig. 15. The TS lane executes
+// load+step1 then step2 per iteration with a DRAM transition between
+// iterations; under ITS the step-1 fabric of iteration i+1 runs
+// concurrently with the step-2 fabric of iteration i:
+//
+//	T_0     = step1(0)
+//	T_{i+1} = T_i + max(step2(i), step1(i+1))
+func Timeline(rep IterativeReport) (ts, its *trace.Timeline, err error) {
+	ts, its = &trace.Timeline{}, &trace.Timeline{}
+
+	step2Of := func(r Report) uint64 {
+		s := r.PresortCycles
+		if r.Step2Cycles > s {
+			s = r.Step2Cycles
+		}
+		if r.StoreQueueCycles > s {
+			s = r.StoreQueueCycles
+		}
+		return s
+	}
+	step1Of := func(r Report) uint64 { return r.SegmentLoadCycles + r.Step1Cycles }
+	iters := rep.PerIteration
+
+	// Sequential (TS) lane.
+	var cur uint64
+	for i, r := range iters {
+		if err = ts.Add("TS", "1:step1", cur, cur+step1Of(r)); err != nil {
+			return nil, nil, err
+		}
+		cur += step1Of(r)
+		if err = ts.Add("TS", "2:step2", cur, cur+step2Of(r)); err != nil {
+			return nil, nil, err
+		}
+		cur += step2Of(r)
+		if i < len(iters)-1 {
+			if err = ts.Add("TS", "x:transition", cur, cur+rep.TransitionCycles); err != nil {
+				return nil, nil, err
+			}
+			cur += rep.TransitionCycles
+		}
+	}
+
+	// Overlapped (ITS) lanes.
+	if len(iters) == 0 {
+		return ts, its, nil
+	}
+	if err = its.Add("ITS step1 fabric", "1:step1", 0, step1Of(iters[0])); err != nil {
+		return nil, nil, err
+	}
+	t := step1Of(iters[0])
+	for i, r := range iters {
+		if err = its.Add("ITS step2 fabric", "2:step2", t, t+step2Of(r)); err != nil {
+			return nil, nil, err
+		}
+		window := step2Of(r)
+		if i < len(iters)-1 {
+			s1 := step1Of(iters[i+1])
+			if err = its.Add("ITS step1 fabric", "1:step1", t, t+s1); err != nil {
+				return nil, nil, err
+			}
+			if s1 > window {
+				window = s1
+			}
+		}
+		t += window
+	}
+	return ts, its, nil
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"mwmerge/internal/graph"
+)
+
+func TestTimelineMatchesReportCycles(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, err := graph.ErdosRenyi(15000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := m.RunIterative(a, randomX(15000, 2), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, its, err := Timeline(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Makespan() != rep.SequentialCycles {
+		t.Errorf("TS timeline makespan %d != report %d", ts.Makespan(), rep.SequentialCycles)
+	}
+	if its.Makespan() != rep.OverlappedCycles {
+		t.Errorf("ITS timeline makespan %d != report %d", its.Makespan(), rep.OverlappedCycles)
+	}
+	if its.Makespan() >= ts.Makespan() {
+		t.Error("overlap did not shorten the timeline")
+	}
+}
+
+func TestTimelineRenders(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	a, _ := graph.ErdosRenyi(8000, 3, 3)
+	_, rep, err := m.RunIterative(a, randomX(8000, 4), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, its, err := Timeline(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Gantt(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := its.Gantt(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no gantt output")
+	}
+}
+
+func TestTimelineEmptyRun(t *testing.T) {
+	ts, its, err := Timeline(IterativeReport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Makespan() != 0 || its.Makespan() != 0 {
+		t.Error("empty report produced spans")
+	}
+}

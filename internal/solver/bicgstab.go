@@ -1,0 +1,87 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+// BiCGSTAB solves A·x = b for general (non-symmetric) A — the solver a
+// user reaches for when CG's symmetry requirement fails. Two SpMV
+// products per iteration, both on the accelerator model.
+func BiCGSTAB(m Multiplier, a *matrix.COO, b vector.Dense, tol float64, maxIters int) (Result, error) {
+	if a.Rows != a.Cols {
+		return Result{}, fmt.Errorf("solver: BiCGSTAB needs a square matrix")
+	}
+	if uint64(len(b)) != a.Rows {
+		return Result{}, fmt.Errorf("solver: b dimension %d != %d", len(b), a.Rows)
+	}
+	n := int(a.Rows)
+	x := vector.NewDense(n)
+	r := b.Clone() // r = b - A·0
+	rHat := r.Clone()
+	bNorm := math.Sqrt(dot(b, b))
+	if bNorm == 0 {
+		return Result{X: x, Iterations: 0, Converged: true}, nil
+	}
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	v := vector.NewDense(n)
+	p := vector.NewDense(n)
+	for it := 1; it <= maxIters; it++ {
+		rhoNew := dot(rHat, r)
+		if rhoNew == 0 {
+			return Result{X: x, Iterations: it}, fmt.Errorf("solver: BiCGSTAB breakdown (rho = 0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		var err error
+		v, err = m.SpMV(a, p, nil)
+		if err != nil {
+			return Result{}, fmt.Errorf("solver: iteration %d: %w", it, err)
+		}
+		denom := dot(rHat, v)
+		if denom == 0 {
+			return Result{X: x, Iterations: it}, fmt.Errorf("solver: BiCGSTAB breakdown (rHat·v = 0)")
+		}
+		alpha = rhoNew / denom
+		s := vector.NewDense(n)
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if res := math.Sqrt(dot(s, s)); res <= tol*bNorm {
+			for i := range x {
+				x[i] += alpha * p[i]
+			}
+			return Result{X: x, Iterations: it, Residual: res / bNorm, Converged: true}, nil
+		}
+		tv, err := m.SpMV(a, s, nil)
+		if err != nil {
+			return Result{}, fmt.Errorf("solver: iteration %d: %w", it, err)
+		}
+		tt := dot(tv, tv)
+		if tt == 0 {
+			return Result{X: x, Iterations: it}, fmt.Errorf("solver: BiCGSTAB breakdown (t = 0)")
+		}
+		omega = dot(tv, s) / tt
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*tv[i]
+		}
+		if res := math.Sqrt(dot(r, r)); res <= tol*bNorm {
+			return Result{X: x, Iterations: it, Residual: res / bNorm, Converged: true}, nil
+		}
+		if omega == 0 {
+			return Result{X: x, Iterations: it}, fmt.Errorf("solver: BiCGSTAB breakdown (omega = 0)")
+		}
+		rho = rhoNew
+	}
+	res := math.Sqrt(dot(r, r)) / bNorm
+	return Result{X: x, Iterations: maxIters, Residual: res, Converged: false}, nil
+}

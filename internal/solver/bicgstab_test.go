@@ -1,0 +1,93 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+func TestBiCGSTABSolvesNonSymmetric(t *testing.T) {
+	// Diagonally dominant but asymmetric system.
+	a, b := diagDominant(t, 400, 11)
+	eng := engine(t)
+	res, err := BiCGSTAB(eng, a, b, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCGSTAB did not converge: residual %g after %d iters", res.Residual, res.Iterations)
+	}
+	ax, _ := core.ReferenceSpMV(a, res.X, nil)
+	var worst float64
+	for i := range b {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("solution residual component %g", worst)
+	}
+}
+
+func TestBiCGSTABFasterThanJacobi(t *testing.T) {
+	// Weaken the diagonal so Jacobi's contraction factor nears 1: the
+	// Krylov method should then need far fewer SpMVs.
+	a, b := diagDominant(t, 500, 12)
+	weak := a.Clone()
+	for i, e := range weak.Entries {
+		if e.Row == e.Col {
+			weak.Entries[i].Val = 0.4 + 0.7*e.Val // still dominant, barely
+		}
+	}
+	a = weak
+	jac, err := Jacobi(engine(t), a, b, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := BiCGSTAB(engine(t), a, b, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jac.Converged || !bi.Converged {
+		t.Fatal("both solvers must converge on a dominant system")
+	}
+	// Each BiCGSTAB iteration does 2 SpMVs; compare SpMV counts.
+	if 2*bi.Iterations >= jac.Iterations {
+		t.Errorf("BiCGSTAB used %d SpMVs vs Jacobi %d; expected a Krylov win",
+			2*bi.Iterations, jac.Iterations)
+	}
+}
+
+func TestBiCGSTABValidation(t *testing.T) {
+	eng := engine(t)
+	rect, _ := matrix.NewCOO(2, 3, []matrix.Entry{{Row: 0, Col: 0, Val: 1}})
+	if _, err := BiCGSTAB(eng, rect, vector.NewDense(2), 1e-9, 10); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	sq, _ := matrix.NewCOO(2, 2, []matrix.Entry{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}})
+	if _, err := BiCGSTAB(eng, sq, vector.NewDense(3), 1e-9, 10); err == nil {
+		t.Error("wrong b accepted")
+	}
+	// Zero RHS converges immediately.
+	res, err := BiCGSTAB(eng, sq, vector.NewDense(2), 1e-9, 10)
+	if err != nil || !res.Converged || res.Iterations != 0 {
+		t.Errorf("zero RHS: %+v, %v", res, err)
+	}
+}
+
+func TestBiCGSTABBreakdownSurfaces(t *testing.T) {
+	// A singular matrix (zero row) cannot be solved; the method must
+	// fail loudly rather than return garbage.
+	a, _ := matrix.NewCOO(3, 3, []matrix.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1},
+		// row 2 is all zero
+	})
+	b := vector.Dense{1, 1, 1}
+	res, err := BiCGSTAB(engine(t), a, b, 1e-12, 50)
+	if err == nil && res.Converged {
+		t.Error("singular system reported as solved")
+	}
+}

@@ -1,0 +1,87 @@
+package solver
+
+import (
+	"testing"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+func TestPowerIterationAnnihilation(t *testing.T) {
+	// The zero matrix annihilates every iterate: must error, not hang.
+	a, _ := matrix.NewCOO(3, 3, []matrix.Entry{{Row: 0, Col: 0, Val: 0}})
+	if _, _, err := PowerIteration(engine(t), a, 1e-9, 10); err == nil {
+		t.Error("zero matrix accepted")
+	}
+}
+
+func TestPowerIterationNonConvergence(t *testing.T) {
+	// A tiny spectral gap (1 vs 0.999) converges far too slowly for a
+	// 3-iteration budget at 1e-14: the result must report failure.
+	a, _ := matrix.NewCOO(2, 2, []matrix.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 0.999},
+	})
+	_, res, err := PowerIteration(engine(t), a, 1e-14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("slow iteration reported as converged")
+	}
+	if res.Iterations != 3 {
+		t.Errorf("stopped after %d iterations", res.Iterations)
+	}
+}
+
+func TestJacobiNonConvergence(t *testing.T) {
+	// A non-diagonally-dominant system diverges under Jacobi; the
+	// result must report Converged=false with the residual.
+	a, _ := matrix.NewCOO(2, 2, []matrix.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 5},
+		{Row: 1, Col: 0, Val: 5}, {Row: 1, Col: 1, Val: 1},
+	})
+	res, err := Jacobi(engine(t), a, vector.Dense{1, 1}, 1e-12, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("divergent Jacobi reported as converged")
+	}
+	if res.Residual <= 0 {
+		t.Error("no residual reported")
+	}
+}
+
+func TestCGMaxItersPath(t *testing.T) {
+	// An ill-conditioned SPD system with a tiny iteration budget must
+	// return unconverged with a meaningful residual.
+	var entries []matrix.Entry
+	n := uint64(50)
+	for i := uint64(0); i < n; i++ {
+		entries = append(entries, matrix.Entry{Row: i, Col: i, Val: float64(i + 1)})
+		if i+1 < n {
+			entries = append(entries, matrix.Entry{Row: i, Col: i + 1, Val: -0.4})
+			entries = append(entries, matrix.Entry{Row: i + 1, Col: i, Val: -0.4})
+		}
+	}
+	a, _ := matrix.NewCOO(n, n, entries)
+	b := vector.NewDense(int(n))
+	b.Fill(1)
+	res, err := CG(engine(t), a, b, 1e-15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("2-iteration CG reported converged at 1e-15")
+	}
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestSPDLaplacianRejectsRectangular(t *testing.T) {
+	a, _ := matrix.NewCOO(2, 3, []matrix.Entry{{Row: 0, Col: 1, Val: 1}})
+	if _, err := SPDLaplacian(a, 1); err == nil {
+		t.Error("rectangular Laplacian accepted")
+	}
+}

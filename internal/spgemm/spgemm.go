@@ -1,0 +1,211 @@
+// Package spgemm implements sparse matrix-matrix multiplication on the
+// accelerator's multi-way merge machinery — the "beyond SpMV" application
+// the paper's conclusion points to ("as merge-sort and sparse
+// accumulation are fundamental operations in many other applications,
+// this architecture can be explored to be utilized beyond SpMV").
+//
+// The algorithm is row-by-row Gustavson with merge-based accumulation:
+// row i of C = A·B is the multi-way merge of the rows B(k,:) scaled by
+// A(i,k), for every nonzero k of A(i,:) — exactly the sorted-list
+// merge-accumulate the step-2 hardware performs, with the number of ways
+// equal to the row degree of A.
+package spgemm
+
+import (
+	"fmt"
+
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/merge"
+	"mwmerge/internal/types"
+)
+
+// Stats summarizes one SpGEMM execution in merge-network terms.
+type Stats struct {
+	// FLOPs counts scalar multiply-adds (2x the classic "flops/2").
+	FLOPs uint64
+	// MergedRecords counts records through the merge network.
+	MergedRecords uint64
+	// MaxWays is the widest merge performed (max row degree of A with a
+	// matching nonzero row of B).
+	MaxWays int
+	// OutputNNZ is nnz(C).
+	OutputNNZ uint64
+	// CompressionRatio is MergedRecords / OutputNNZ — how much the
+	// merge-accumulate reduced.
+	CompressionRatio float64
+}
+
+// Multiply computes C = A·B with merge-based Gustavson. Dimensions must
+// agree (A is m×k, B is k×n).
+func Multiply(a, b *matrix.COO) (*matrix.COO, Stats, error) {
+	var st Stats
+	if a.Cols != b.Rows {
+		return nil, st, fmt.Errorf("spgemm: inner dimensions %d and %d differ", a.Cols, b.Rows)
+	}
+	acsr, bcsr := matrix.ToCSR(a), matrix.ToCSR(b)
+
+	var out []matrix.Entry
+	scaled := make([][]types.Record, 0, 16)
+	for i := uint64(0); i < a.Rows; i++ {
+		aCols, aVals := acsr.Row(i)
+		scaled = scaled[:0]
+		for t, k := range aCols {
+			bCols, bVals := bcsr.Row(k)
+			if len(bCols) == 0 {
+				continue
+			}
+			row := make([]types.Record, len(bCols))
+			for j := range bCols {
+				row[j] = types.Record{Key: bCols[j], Val: aVals[t] * bVals[j]}
+				st.FLOPs += 2
+			}
+			scaled = append(scaled, row)
+			st.MergedRecords += uint64(len(row))
+		}
+		if len(scaled) == 0 {
+			continue
+		}
+		if len(scaled) > st.MaxWays {
+			st.MaxWays = len(scaled)
+		}
+		for _, rec := range merge.MergeAccumulate(scaled) {
+			if rec.Val == 0 {
+				continue // exact cancellation
+			}
+			out = append(out, matrix.Entry{Row: i, Col: rec.Key, Val: rec.Val})
+		}
+	}
+	c, err := matrix.NewCOO(a.Rows, b.Cols, out)
+	if err != nil {
+		return nil, st, err
+	}
+	st.OutputNNZ = uint64(c.NNZ())
+	if st.OutputNNZ > 0 {
+		st.CompressionRatio = float64(st.MergedRecords) / float64(st.OutputNNZ)
+	}
+	return c, st, nil
+}
+
+// MultiplyOnCores runs the same computation but pushes every row's merge
+// through the cycle-modeled hardware Merge Core, returning aggregate
+// cycle statistics. Rows whose degree exceeds ways are split into
+// sub-merges (hierarchical merging, as the hardware would chain passes).
+func MultiplyOnCores(a, b *matrix.COO, ways int) (*matrix.COO, merge.CoreStats, error) {
+	var agg merge.CoreStats
+	if a.Cols != b.Rows {
+		return nil, agg, fmt.Errorf("spgemm: inner dimensions %d and %d differ", a.Cols, b.Rows)
+	}
+	if ways < 2 || ways&(ways-1) != 0 {
+		return nil, agg, fmt.Errorf("spgemm: ways %d not a power of two >= 2", ways)
+	}
+	acsr, bcsr := matrix.ToCSR(a), matrix.ToCSR(b)
+	var out []matrix.Entry
+	for i := uint64(0); i < a.Rows; i++ {
+		aCols, aVals := acsr.Row(i)
+		var lists [][]types.Record
+		for t, k := range aCols {
+			bCols, bVals := bcsr.Row(k)
+			if len(bCols) == 0 {
+				continue
+			}
+			row := make([]types.Record, len(bCols))
+			for j := range bCols {
+				row[j] = types.Record{Key: bCols[j], Val: aVals[t] * bVals[j]}
+			}
+			lists = append(lists, row)
+		}
+		merged, st, err := mergeHierarchical(lists, ways)
+		if err != nil {
+			return nil, agg, fmt.Errorf("spgemm: row %d: %w", i, err)
+		}
+		agg.Cycles += st.Cycles
+		agg.Emitted += st.Emitted
+		agg.OutputStalls += st.OutputStalls
+		agg.LeafRefills += st.LeafRefills
+		for _, rec := range merged {
+			if rec.Val != 0 {
+				out = append(out, matrix.Entry{Row: i, Col: rec.Key, Val: rec.Val})
+			}
+		}
+	}
+	c, err := matrix.NewCOO(a.Rows, b.Cols, out)
+	return c, agg, err
+}
+
+// mergeHierarchical merges up to `ways` lists per hardware pass, feeding
+// pass outputs back as inputs until one accumulated list remains.
+func mergeHierarchical(lists [][]types.Record, ways int) ([]types.Record, merge.CoreStats, error) {
+	var agg merge.CoreStats
+	if len(lists) == 0 {
+		return nil, agg, nil
+	}
+	for len(lists) > 1 {
+		var next [][]types.Record
+		for off := 0; off < len(lists); off += ways {
+			end := off + ways
+			if end > len(lists) {
+				end = len(lists)
+			}
+			group := lists[off:end]
+			sources := make([]merge.Source, len(group))
+			for gi, l := range group {
+				sources[gi] = merge.NewSliceSource(l)
+			}
+			core, err := merge.NewCore(merge.DefaultCoreConfig(ways), sources)
+			if err != nil {
+				return nil, agg, err
+			}
+			var mergedRaw []types.Record
+			st, err := core.Run(func(r types.Record) { mergedRaw = append(mergedRaw, r) })
+			if err != nil {
+				return nil, agg, err
+			}
+			agg.Cycles += st.Cycles
+			agg.Emitted += st.Emitted
+			agg.OutputStalls += st.OutputStalls
+			agg.LeafRefills += st.LeafRefills
+			next = append(next, accumulateSorted(mergedRaw))
+		}
+		lists = next
+	}
+	return accumulateSorted(lists[0]), agg, nil
+}
+
+// accumulateSorted sums consecutive duplicate keys.
+func accumulateSorted(recs []types.Record) []types.Record {
+	out := recs[:0:len(recs)]
+	for _, r := range recs {
+		if n := len(out); n > 0 && out[n-1].Key == r.Key {
+			out[n-1].Val += r.Val
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Reference computes C = A·B densely by hash accumulation, the oracle.
+func Reference(a, b *matrix.COO) (*matrix.COO, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("spgemm: inner dimensions %d and %d differ", a.Cols, b.Rows)
+	}
+	bcsr := matrix.ToCSR(b)
+	acc := map[[2]uint64]float64{}
+	acsr := matrix.ToCSR(a)
+	for i := uint64(0); i < a.Rows; i++ {
+		aCols, aVals := acsr.Row(i)
+		for t, k := range aCols {
+			bCols, bVals := bcsr.Row(k)
+			for j := range bCols {
+				acc[[2]uint64{i, bCols[j]}] += aVals[t] * bVals[j]
+			}
+		}
+	}
+	entries := make([]matrix.Entry, 0, len(acc))
+	for k, v := range acc {
+		if v != 0 {
+			entries = append(entries, matrix.Entry{Row: k[0], Col: k[1], Val: v})
+		}
+	}
+	return matrix.NewCOO(a.Rows, b.Cols, entries)
+}

@@ -1,0 +1,187 @@
+package spgemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+)
+
+// matricesEqual compares two COO matrices entry-wise within tol.
+func matricesEqual(t *testing.T, a, b *matrix.COO, tol float64) bool {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Entries {
+		ea, eb := a.Entries[i], b.Entries[i]
+		if ea.Row != eb.Row || ea.Col != eb.Col || math.Abs(ea.Val-eb.Val) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	a, _ := graph.ErdosRenyi(200, 4, 1)
+	id := graph.Diagonal(200, 1)
+	c, st, err := Multiply(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(t, a, c, 1e-12) {
+		t.Error("A x I != A")
+	}
+	if st.OutputNNZ != uint64(a.NNZ()) {
+		t.Errorf("output nnz %d", st.OutputNNZ)
+	}
+	c2, _, err := Multiply(id, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(t, a, c2, 1e-12) {
+		t.Error("I x A != A")
+	}
+}
+
+func TestMultiplyMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		a, err := graph.ErdosRenyi(300, 5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := graph.ErdosRenyi(300, 5, seed+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Reference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(t, got, want, 1e-9) {
+			t.Fatalf("seed %d: merge SpGEMM differs from reference", seed)
+		}
+		if st.FLOPs == 0 || st.MergedRecords == 0 || st.MaxWays == 0 {
+			t.Errorf("stats incomplete: %+v", st)
+		}
+		if st.CompressionRatio < 1 {
+			t.Errorf("compression ratio %g < 1", st.CompressionRatio)
+		}
+	}
+}
+
+func TestMultiplyRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(r, c uint64, n int) *matrix.COO {
+		es := make([]matrix.Entry, n)
+		for i := range es {
+			es[i] = matrix.Entry{Row: rng.Uint64() % r, Col: rng.Uint64() % c, Val: rng.NormFloat64()}
+		}
+		m, err := matrix.NewCOO(r, c, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mk(50, 80, 300)
+	b := mk(80, 30, 300)
+	got, _, err := Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(a, b)
+	if !matricesEqual(t, got, want, 1e-9) {
+		t.Error("rectangular SpGEMM differs")
+	}
+	if got.Rows != 50 || got.Cols != 30 {
+		t.Errorf("shape %dx%d", got.Rows, got.Cols)
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	a := graph.Diagonal(4, 1)
+	b := graph.Diagonal(5, 1)
+	if _, _, err := Multiply(a, b); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Reference(a, b); err == nil {
+		t.Error("reference accepted mismatch")
+	}
+}
+
+func TestMultiplyOnCoresMatchesSoftware(t *testing.T) {
+	a, _ := graph.ErdosRenyi(150, 6, 5)
+	b, _ := graph.ErdosRenyi(150, 6, 6)
+	want, _, err := Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ways := range []int{2, 4, 16} {
+		got, st, err := MultiplyOnCores(a, b, ways)
+		if err != nil {
+			t.Fatalf("ways %d: %v", ways, err)
+		}
+		if !matricesEqual(t, got, want, 1e-9) {
+			t.Fatalf("ways %d: hardware-merge SpGEMM differs", ways)
+		}
+		if st.Cycles == 0 {
+			t.Errorf("ways %d: no cycles recorded", ways)
+		}
+	}
+}
+
+func TestMultiplyOnCoresValidation(t *testing.T) {
+	a := graph.Diagonal(4, 1)
+	if _, _, err := MultiplyOnCores(a, a, 3); err == nil {
+		t.Error("non-power-of-two ways accepted")
+	}
+	b := graph.Diagonal(5, 1)
+	if _, _, err := MultiplyOnCores(a, b, 4); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMultiplyHierarchicalWideRows(t *testing.T) {
+	// A power-law A has rows wider than the merge ways, forcing
+	// hierarchical passes.
+	a, err := graph.Zipf(200, 20, 1.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := graph.ErdosRenyi(200, 3, 8)
+	want, _, err := Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := MultiplyOnCores(a, b, 4) // far below max row degree
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(t, got, want, 1e-9) {
+		t.Error("hierarchical merge SpGEMM differs")
+	}
+}
+
+func TestExactCancellationDropped(t *testing.T) {
+	// A row that produces +v and -v on the same output column must not
+	// emit a zero entry.
+	a, _ := matrix.NewCOO(1, 2, []matrix.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: -1},
+	})
+	b, _ := matrix.NewCOO(2, 1, []matrix.Entry{
+		{Row: 0, Col: 0, Val: 5}, {Row: 1, Col: 0, Val: 5},
+	})
+	c, _, err := Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 {
+		t.Errorf("cancelled entry kept: %v", c.Entries)
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace renders cycle timelines of the simulated accelerator as
+// text Gantt charts, making the TS-vs-ITS schedules of Fig. 15 visible:
+// which phase occupies which cycles, and what the overlap hides.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Span is one named interval on a timeline lane, in cycles.
+type Span struct {
+	Lane  string
+	Name  string
+	Start uint64
+	End   uint64
+}
+
+// Timeline is a set of spans across lanes.
+type Timeline struct {
+	spans []Span
+}
+
+// Add appends a span; zero-length spans are dropped.
+func (t *Timeline) Add(lane, name string, start, end uint64) error {
+	if end < start {
+		return fmt.Errorf("trace: span %s/%s ends (%d) before it starts (%d)", lane, name, end, start)
+	}
+	if end == start {
+		return nil
+	}
+	t.spans = append(t.spans, Span{Lane: lane, Name: name, Start: start, End: end})
+	return nil
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Timeline) Spans() []Span { return append([]Span(nil), t.spans...) }
+
+// Makespan returns the last end cycle.
+func (t *Timeline) Makespan() uint64 {
+	var m uint64
+	for _, s := range t.spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Lanes returns the lane names in first-appearance order.
+func (t *Timeline) Lanes() []string {
+	seen := map[string]bool{}
+	var lanes []string
+	for _, s := range t.spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	return lanes
+}
+
+// Utilization returns the busy fraction of a lane over the makespan.
+func (t *Timeline) Utilization(lane string) float64 {
+	total := t.Makespan()
+	if total == 0 {
+		return 0
+	}
+	var busy uint64
+	for _, s := range t.spans {
+		if s.Lane == lane {
+			busy += s.End - s.Start
+		}
+	}
+	return float64(busy) / float64(total)
+}
+
+// Gantt renders the timeline as a fixed-width text chart, one row per
+// lane, marking each span with the first letter of its name.
+func (t *Timeline) Gantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	total := t.Makespan()
+	if total == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	lanes := t.Lanes()
+	nameW := 0
+	for _, l := range lanes {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+	scale := float64(width) / float64(total)
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		spans := make([]Span, 0)
+		for _, s := range t.spans {
+			if s.Lane == lane {
+				spans = append(spans, s)
+			}
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
+			lo := int(float64(s.Start) * scale)
+			hi := int(float64(s.End) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			mark := byte('#')
+			if len(s.Name) > 0 {
+				mark = s.Name[0]
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %.0f%%\n", nameW, lane, row, 100*t.Utilization(lane)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0 .. %d cycles\n", nameW, strings.Repeat(" ", 0), total)
+	return err
+}

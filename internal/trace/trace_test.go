@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAddAndMakespan(t *testing.T) {
+	var tl Timeline
+	if err := tl.Add("a", "work", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Add("b", "work", 5, 25); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan() != 25 {
+		t.Errorf("Makespan = %d", tl.Makespan())
+	}
+	if err := tl.Add("a", "bad", 10, 5); err == nil {
+		t.Error("inverted span accepted")
+	}
+	// Zero-length spans are dropped silently.
+	if err := tl.Add("a", "empty", 7, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Spans()) != 2 {
+		t.Errorf("%d spans recorded", len(tl.Spans()))
+	}
+}
+
+func TestLanesOrdered(t *testing.T) {
+	var tl Timeline
+	tl.Add("z", "1", 0, 1)
+	tl.Add("a", "2", 1, 2)
+	tl.Add("z", "3", 2, 3)
+	lanes := tl.Lanes()
+	if len(lanes) != 2 || lanes[0] != "z" || lanes[1] != "a" {
+		t.Errorf("lanes = %v", lanes)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var tl Timeline
+	tl.Add("busy", "w", 0, 100)
+	tl.Add("half", "w", 0, 50)
+	if u := tl.Utilization("busy"); u != 1.0 {
+		t.Errorf("busy utilization %g", u)
+	}
+	if u := tl.Utilization("half"); u != 0.5 {
+		t.Errorf("half utilization %g", u)
+	}
+	if u := tl.Utilization("absent"); u != 0 {
+		t.Errorf("absent utilization %g", u)
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	var tl Timeline
+	tl.Add("lane1", "alpha", 0, 50)
+	tl.Add("lane1", "beta", 50, 100)
+	tl.Add("lane2", "gamma", 25, 75)
+	var buf bytes.Buffer
+	if err := tl.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lane1") || !strings.Contains(out, "lane2") {
+		t.Errorf("lanes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") || !strings.Contains(out, "g") {
+		t.Errorf("span marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100 cycles") {
+		t.Errorf("scale line missing:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var tl Timeline
+	var buf bytes.Buffer
+	if err := tl.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty timeline not flagged")
+	}
+}

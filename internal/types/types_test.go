@@ -1,0 +1,75 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordLess(t *testing.T) {
+	a := Record{Key: 1, Val: 100}
+	b := Record{Key: 2, Val: -1}
+	if !a.Less(b) {
+		t.Errorf("expected %v < %v", a, b)
+	}
+	if b.Less(a) {
+		t.Errorf("expected %v !< %v", b, a)
+	}
+	if a.Less(a) {
+		t.Errorf("record must not be less than itself")
+	}
+}
+
+func TestRecordLessIgnoresValue(t *testing.T) {
+	a := Record{Key: 5, Val: 1e9}
+	b := Record{Key: 5, Val: -1e9}
+	if a.Less(b) || b.Less(a) {
+		t.Errorf("equal keys must not compare less regardless of value")
+	}
+}
+
+func TestRadix(t *testing.T) {
+	cases := []struct {
+		key  uint64
+		q    uint
+		want uint64
+	}{
+		{0b1011, 0, 0},
+		{0b1011, 1, 1},
+		{0b1011, 2, 3},
+		{0b1011, 3, 3},
+		{0b1011, 4, 11},
+		{255, 4, 15},
+		{16, 4, 0},
+	}
+	for _, c := range cases {
+		if got := (Record{Key: c.key}).Radix(c.q); got != c.want {
+			t.Errorf("Radix(%#b, %d) = %d, want %d", c.key, c.q, got, c.want)
+		}
+	}
+}
+
+func TestRadixProperty(t *testing.T) {
+	// Radix(q) must equal key mod 2^q for every key.
+	f := func(key uint64, qRaw uint8) bool {
+		q := uint(qRaw % 17)
+		return (Record{Key: key}).Radix(q) == key%(1<<q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	if got := (Record{Key: 3, Val: 1.5}).String(); got != "{3, 1.5}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSizeConstants(t *testing.T) {
+	if RecordBytes != KeyBytes+ValBytes64 {
+		t.Errorf("RecordBytes inconsistent")
+	}
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1024*1024*1024 {
+		t.Errorf("byte multipliers wrong")
+	}
+}

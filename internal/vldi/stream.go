@@ -1,0 +1,53 @@
+package vldi
+
+import (
+	"fmt"
+
+	"mwmerge/internal/types"
+)
+
+// StreamDecoder yields the records of a VLDI-compressed intermediate
+// vector one at a time, the way the hardware decoder sits in front of the
+// merge network: DRAM streams compressed pages, the decoder reconstructs
+// (key, value) records on the fly, and the merge core never sees the
+// compressed form. It satisfies the merge Source shape.
+type StreamDecoder struct {
+	codec  *Codec
+	reader *BitReader
+	vals   []float64
+	pos    int
+	key    uint64
+	err    error
+}
+
+// NewStreamDecoder opens a decoder over a compressed vector.
+func (c *Codec) NewStreamDecoder(v CompressedVec) *StreamDecoder {
+	return &StreamDecoder{
+		codec:  c,
+		reader: NewBitReader(v.Meta.Buf, v.Meta.Bits),
+		vals:   v.Vals,
+	}
+}
+
+// Next returns the next record in ascending key order; ok=false at end of
+// stream. A corrupt stream surfaces through Err.
+func (d *StreamDecoder) Next() (types.Record, bool) {
+	if d.err != nil || d.pos >= len(d.vals) {
+		return types.Record{}, false
+	}
+	delta, err := d.codec.decodeDelta(d.reader)
+	if err != nil {
+		d.err = fmt.Errorf("vldi: stream decode at record %d: %w", d.pos, err)
+		return types.Record{}, false
+	}
+	d.key += delta
+	rec := types.Record{Key: d.key, Val: d.vals[d.pos]}
+	d.pos++
+	return rec, true
+}
+
+// Err reports a decoding failure, if any.
+func (d *StreamDecoder) Err() error { return d.err }
+
+// Decoded returns how many records have been produced.
+func (d *StreamDecoder) Decoded() int { return d.pos }

@@ -1,0 +1,83 @@
+package vldi
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+func makeSparse(t *testing.T, dim uint64, density float64, seed int64) *vector.Sparse {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := vector.NewSparse(int(dim), 0)
+	for k := uint64(0); k < dim; k++ {
+		if rng.Float64() < density {
+			if err := s.Append(types.Record{Key: k, Val: rng.NormFloat64()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestStreamDecoderMatchesBatch(t *testing.T) {
+	s := makeSparse(t, 20000, 0.07, 1)
+	c, _ := NewCodec(8)
+	cv, err := c.CompressSparse(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.NewStreamDecoder(cv)
+	for i, want := range s.Recs {
+		got, ok := d.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d: %v", i, d.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: got %v want %v", i, got, want)
+		}
+	}
+	if _, ok := d.Next(); ok {
+		t.Error("stream yielded past the end")
+	}
+	if d.Err() != nil {
+		t.Errorf("unexpected error: %v", d.Err())
+	}
+	if d.Decoded() != s.NNZ() {
+		t.Errorf("Decoded = %d", d.Decoded())
+	}
+}
+
+func TestStreamDecoderEmpty(t *testing.T) {
+	c, _ := NewCodec(4)
+	cv, err := c.CompressSparse(vector.NewSparse(10, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.NewStreamDecoder(cv)
+	if _, ok := d.Next(); ok {
+		t.Error("empty stream yielded a record")
+	}
+}
+
+func TestStreamDecoderTruncation(t *testing.T) {
+	s := makeSparse(t, 1000, 0.2, 2)
+	c, _ := NewCodec(8)
+	cv, _ := c.CompressSparse(s, 8)
+	cv.Meta.Bits /= 2 // corrupt
+	d := c.NewStreamDecoder(cv)
+	for {
+		if _, ok := d.Next(); !ok {
+			break
+		}
+	}
+	if d.Err() == nil {
+		t.Error("truncated stream decoded without error")
+	}
+	// Errors are sticky.
+	if _, ok := d.Next(); ok {
+		t.Error("decoder yielded after error")
+	}
+}

@@ -1,0 +1,61 @@
+package vldi
+
+// LEB128 (byte-aligned varint) encoding of delta streams — the software
+// world's standard alternative to VLDI. It exists for comparison: VLDI's
+// sub-byte blocks compress tighter at hardware-friendly fixed string
+// widths, while varint trades density for byte alignment. The trade-off
+// is reported by the ablation-vldi experiment.
+
+// EncodeVarint packs deltas as LEB128.
+func EncodeVarint(deltas []uint64) []byte {
+	out := make([]byte, 0, len(deltas))
+	for _, d := range deltas {
+		for {
+			b := byte(d & 0x7f)
+			d >>= 7
+			if d != 0 {
+				out = append(out, b|0x80)
+				continue
+			}
+			out = append(out, b)
+			break
+		}
+	}
+	return out
+}
+
+// DecodeVarint unpacks count LEB128 deltas.
+func DecodeVarint(buf []byte, count int) ([]uint64, bool) {
+	out := make([]uint64, 0, count)
+	var cur uint64
+	var shift uint
+	for _, b := range buf {
+		cur |= uint64(b&0x7f) << shift
+		if b&0x80 != 0 {
+			shift += 7
+			if shift > 63 {
+				return nil, false
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur, shift = 0, 0
+		if len(out) == count {
+			return out, true
+		}
+	}
+	return out, len(out) == count
+}
+
+// VarintBytes returns the LEB128 footprint of a delta stream.
+func VarintBytes(deltas []uint64) uint64 {
+	var n uint64
+	for _, d := range deltas {
+		n++
+		for d >= 0x80 {
+			n++
+			d >>= 7
+		}
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+// Package mwmerge is a library-level reproduction of "Efficient SpMV
+// Operation for Large and Highly Sparse Matrices using Scalable Multi-way
+// Merge Parallelization" (Sadi et al., MICRO-52, 2019).
+//
+// It provides:
+//
+//   - a functional model of the Two-Step SpMV accelerator — 1D
+//     column-blocked step-1 partial SpMV, PRaP radix-pre-sorted parallel
+//     multi-way merge with missing-key injection (step 2), VLDI meta-data
+//     compression, Bloom-filter High-Degree-Node routing, and
+//     iteration-overlapped execution — that computes real results and is
+//     validated against a dense reference;
+//   - an off-chip traffic ledger and calibrated analytic performance/energy
+//     models for the paper's ASIC and FPGA design points;
+//   - synthetic graph generators matching the paper's datasets; and
+//   - a benchmark harness regenerating every table and figure of the
+//     paper's evaluation (see cmd/spmvbench).
+//
+// Quick start:
+//
+//	a, _ := mwmerge.ErdosRenyi(100000, 3, 1)     // 100K-node degree-3 graph
+//	eng, _ := mwmerge.NewEngine(mwmerge.DefaultEngineConfig())
+//	x := mwmerge.NewDense(int(a.Cols))
+//	y, err := eng.SpMV(a, x, nil)                // y = A·x
+//
+// The heavy lifting lives in internal packages; this facade re-exports the
+// stable surface.
+package mwmerge
+
+import (
+	"io"
+
+	"mwmerge/internal/bench"
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/perfmodel"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/solver"
+	"mwmerge/internal/spgemm"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+// Matrix and vector types.
+type (
+	// Matrix is a row-major coordinate sparse matrix.
+	Matrix = matrix.COO
+	// Entry is one nonzero of a Matrix.
+	Entry = matrix.Entry
+	// Dense is a dense float64 vector.
+	Dense = vector.Dense
+	// SparseVec is a sorted sparse vector (the intermediate-vector shape).
+	SparseVec = vector.Sparse
+)
+
+// Engine types.
+type (
+	// Engine executes Two-Step SpMV.
+	Engine = core.Engine
+	// EngineConfig parameterizes an Engine.
+	EngineConfig = core.Config
+	// IterateOptions controls iterative SpMV (ITS).
+	IterateOptions = core.IterateOptions
+	// Traffic is the off-chip byte ledger.
+	Traffic = mem.Traffic
+	// PRaPConfig parameterizes the step-2 merge network.
+	PRaPConfig = prap.Config
+)
+
+// Model types.
+type (
+	// DesignPoint is one hardware implementation (Table 2 row).
+	DesignPoint = perfmodel.DesignPoint
+	// GraphStats is the analytic model's graph summary.
+	GraphStats = perfmodel.GraphStats
+	// Dataset is a named evaluation graph (Tables 4-6).
+	Dataset = graph.Dataset
+)
+
+// Variant selectors for design points.
+const (
+	TS    = perfmodel.TS
+	ITS   = perfmodel.ITS
+	ITSVC = perfmodel.ITSVC
+)
+
+// NewMatrix builds a row-major sparse matrix, sorting and coalescing
+// duplicate entries.
+func NewMatrix(rows, cols uint64, entries []Entry) (*Matrix, error) {
+	return matrix.NewCOO(rows, cols, entries)
+}
+
+// NewDense returns a zeroed dense vector of dimension n.
+func NewDense(n int) Dense { return vector.NewDense(n) }
+
+// SparseFromDense gathers the nonzeros of a dense vector into the sorted
+// sparse form Engine.SpMSpV consumes (frontier-style workloads).
+func SparseFromDense(d Dense) *SparseVec { return vector.FromDense(d) }
+
+// NewEngine builds a Two-Step SpMV engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return core.New(cfg) }
+
+// DefaultEngineConfig returns the TS_ASIC-shaped configuration scaled for
+// functional (in-memory) execution: 256 KiB segments, 1024-way PRaP merge
+// with 16 cores, handling matrices up to ~33M rows.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		ScratchpadBytes: 256 << 10,
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           8,
+		Merge:           PRaPConfig{Q: 4, Ways: 1024, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16},
+		HBM:             mem.DefaultHBM(),
+	}
+}
+
+// NewVLDICodec returns a VLDI codec with the given block width for
+// EngineConfig.VectorCodec / MatrixCodec.
+func NewVLDICodec(blockBits int) (*vldi.Codec, error) { return vldi.NewCodec(blockBits) }
+
+// ReferenceSpMV computes y = A·x + y densely — the validation oracle.
+func ReferenceSpMV(a *Matrix, x, y Dense) (Dense, error) { return core.ReferenceSpMV(a, x, y) }
+
+// Graph generators.
+var (
+	// ErdosRenyi generates a uniform random graph.
+	ErdosRenyi = graph.ErdosRenyi
+	// RMAT generates a recursive-matrix scale-free graph.
+	RMAT = graph.RMAT
+	// Zipf generates a power-law graph with High Degree Nodes.
+	Zipf = graph.Zipf
+	// LookupDataset finds a named paper dataset (Tables 4-6).
+	LookupDataset = graph.Lookup
+)
+
+// Design points of the paper's Table 2.
+var (
+	// ASICDesign returns the 16nm ASIC design point.
+	ASICDesign = perfmodel.ASICDesign
+	// FPGA1Design returns the large-problem Stratix-10 point.
+	FPGA1Design = perfmodel.FPGA1Design
+	// FPGA2Design returns the high-throughput Stratix-10 point.
+	FPGA2Design = perfmodel.FPGA2Design
+)
+
+// Iterative solvers on the engine (the "scientific applications" of §1).
+var (
+	// PowerIteration finds the dominant eigenpair.
+	PowerIteration = solver.PowerIteration
+	// Jacobi solves A·x = b by diagonal relaxation.
+	Jacobi = solver.Jacobi
+	// CG solves symmetric positive-definite systems.
+	CG = solver.CG
+	// BiCGSTAB solves general non-symmetric systems.
+	BiCGSTAB = solver.BiCGSTAB
+	// SPDLaplacian builds an SPD graph-Laplacian test system.
+	SPDLaplacian = solver.SPDLaplacian
+)
+
+// SpGEMM computes C = A·B by row-wise Gustavson on the merge machinery —
+// the conclusion's "beyond SpMV" application.
+var SpGEMM = spgemm.Multiply
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return matrix.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket emits a matrix in MatrixMarket format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return matrix.WriteMatrixMarket(w, m) }
+
+// RunExperiment executes one named evaluation experiment (e.g. "fig17");
+// see cmd/spmvbench -list for the catalogue.
+func RunExperiment(id string, w io.Writer, scale uint64, seed int64) error {
+	e, err := bench.Lookup(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(w, bench.Options{Scale: scale, Seed: seed})
+}

@@ -1,0 +1,141 @@
+package mwmerge
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+)
+
+// TestExhaustiveTinyMatrices runs Two-Step on every 3x3 binary matrix
+// (512 patterns) against the dense reference — a complete enumeration of
+// the smallest problem space, catching any structural edge case (empty
+// rows, empty columns, full matrix, single entries).
+func TestExhaustiveTinyMatrices(t *testing.T) {
+	cfg := core.Config{
+		ScratchpadBytes: 16, // 2-element segments: 2 stripes for 3 cols
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           2,
+		Merge:           prap.Config{Q: 1, Ways: 4, FIFODepth: 2, DPage: 64, RecordBytes: 16},
+		HBM:             mem.DefaultHBM(),
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Dense{1.5, -2, 0.25}
+	for mask := 0; mask < 1<<9; mask++ {
+		var entries []matrix.Entry
+		for bit := 0; bit < 9; bit++ {
+			if mask&(1<<bit) != 0 {
+				entries = append(entries, matrix.Entry{
+					Row: uint64(bit / 3), Col: uint64(bit % 3), Val: float64(bit + 1),
+				})
+			}
+		}
+		a, err := NewMatrix(3, 3, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.SpMV(a, x, nil)
+		if err != nil {
+			t.Fatalf("mask %09b: %v", mask, err)
+		}
+		want, _ := ReferenceSpMV(a, x, nil)
+		if d := got.MaxAbsDiff(want); d > 1e-12 {
+			t.Fatalf("mask %09b: diff %g", mask, d)
+		}
+	}
+}
+
+// TestConcurrentEngines exercises library thread-safety: independent
+// engines in parallel goroutines (engines are not shared — each goroutine
+// owns one, the supported pattern).
+func TestConcurrentEngines(t *testing.T) {
+	a, err := ErdosRenyi(20_000, 3, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ReferenceSpMV(a, makeX(20_000, 92), nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng, err := NewEngine(DefaultEngineConfig())
+			if err != nil {
+				errs <- err
+				return
+			}
+			x := makeX(20_000, 92)
+			for i := 0; i < 3; i++ {
+				y, err := eng.SpMV(a, x, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d := y.MaxAbsDiff(want); d > 1e-9 {
+					errs <- errDiff(d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errDiff float64
+
+func (e errDiff) Error() string { return "result diverged under concurrency" }
+
+func makeX(n uint64, seed int64) Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := NewDense(int(n))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestScaledStress runs the full pipeline (VLDI + workers) on a
+// million-edge graph; skipped in -short mode.
+func TestScaledStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled stress skipped in -short mode")
+	}
+	a, err := Zipf(300_000, 8, 1.8, 93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, _ := NewVLDICodec(8)
+	cfg := DefaultEngineConfig()
+	cfg.Workers = 4
+	cfg.VectorCodec = codec
+	cfg.MatrixCodec = codec
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := makeX(300_000, 94)
+	got, err := eng.SpMV(a, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ReferenceSpMV(a, x, nil)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("stress diff %g", d)
+	}
+	if eng.Traffic().Total() == 0 {
+		t.Error("no traffic recorded")
+	}
+}
