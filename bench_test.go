@@ -167,6 +167,47 @@ func BenchmarkPRaPScaling(b *testing.B) {
 	}
 }
 
+// benchPRaPMerge runs the step-2 PRaP merge at a fixed MergeWorkers
+// setting on a shared workload: a 2^17-node degree-8 graph split into 64
+// intermediate lists, merged by 16 MCs (q=4).
+func benchPRaPMerge(b *testing.B, workers int) {
+	b.Helper()
+	const dim = 1 << 17
+	m, err := graph.ErdosRenyi(dim, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lists := listsOf(b, m, dim/64)
+	n, err := prap.New(prap.Config{
+		Q: 4, Ways: 64, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16,
+		MergeWorkers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Merge(lists, dim, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dim), "rows/op")
+}
+
+// BenchmarkPRaPMergeSequential / BenchmarkPRaPMergeParallel are the
+// tentpole speedup pair: identical workload and bit-identical output,
+// differing only in how many goroutines the pre-sort and merge cores
+// run on. On a multi-core host the 8-worker parallel run should beat
+// the sequential one by >= 1.5x.
+func BenchmarkPRaPMergeSequential(b *testing.B) { benchPRaPMerge(b, 1) }
+
+func BenchmarkPRaPMergeParallel(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		b.Run(benchName("mw", w), func(b *testing.B) { benchPRaPMerge(b, w) })
+	}
+}
+
 // BenchmarkBitonicPresort measures the radix pre-sorter across widths.
 func BenchmarkBitonicPresort(b *testing.B) {
 	for _, w := range []int{8, 16, 32} {

@@ -24,6 +24,7 @@ func main() {
 		list   = flag.Bool("list", false, "list available experiments")
 		scale  = flag.Uint64("scale", 1<<17, "node cap for functional (materialized) runs")
 		seed   = flag.Int64("seed", 1, "random seed for synthetic workloads")
+		mergeW = flag.Int("merge-workers", 0, "step-2 merge goroutines for functional runs (0 = GOMAXPROCS)")
 		outDir = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
 	)
 	flag.Parse()
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{Scale: *scale, Seed: *seed}
+	opt := bench.Options{Scale: *scale, Seed: *seed, MergeWorkers: *mergeW}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "spmvbench:", err)

@@ -42,6 +42,7 @@ func main() {
 		iters      = flag.Int("iters", 1, "SpMV iterations")
 		overlap    = flag.Bool("overlap", false, "iteration-overlapped Two-Step (ITS)")
 		workers    = flag.Int("workers", 1, "step-1 worker goroutines (host-side parallelism)")
+		mergeWork  = flag.Int("merge-workers", 0, "step-2 merge goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -58,7 +59,7 @@ func main() {
 		ValueBytes:      8,
 		MetaBytes:       8,
 		Lanes:           8,
-		Merge:           prap.Config{Q: *radix, Ways: *ways, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16},
+		Merge:           prap.Config{Q: *radix, Ways: *ways, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: *mergeWork},
 		HBM:             mem.DefaultHBM(),
 		Workers:         *workers,
 	}

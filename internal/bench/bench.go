@@ -19,6 +19,10 @@ type Options struct {
 	Scale uint64
 	// Seed drives all synthetic generation.
 	Seed int64
+	// MergeWorkers bounds the goroutines of the step-2 PRaP merge in
+	// functional runs (0 = GOMAXPROCS, 1 = sequential). Results are
+	// bit-identical at any setting; only wall-clock time changes.
+	MergeWorkers int
 }
 
 // DefaultOptions returns sizes suitable for a laptop-scale run.

@@ -48,7 +48,9 @@ type Config struct {
 	// Workers bounds the goroutines running step 1 over independent
 	// stripes in parallel (the host-side analogue of the hardware's
 	// parallel fabric). 0 or 1 runs sequentially; results and traffic
-	// accounting are identical either way.
+	// accounting are identical either way. Step-2 parallelism is the
+	// separate Merge.MergeWorkers knob, which spreads the PRaP merge
+	// cores across goroutines with bit-identical results.
 	Workers int
 }
 

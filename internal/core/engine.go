@@ -21,7 +21,9 @@ type Engine struct {
 	stats   RunStats
 }
 
-// RunStats aggregates execution statistics across calls.
+// RunStats aggregates execution statistics across calls: every field
+// accumulates monotonically from engine construction (or the last
+// ResetCounters) over all SpMV/Iterate/PageRank/SpMSpV invocations.
 type RunStats struct {
 	Stripes              int
 	Products             uint64
@@ -33,6 +35,9 @@ type RunStats struct {
 	UncompressedVecBytes uint64
 	CompressedMatBytes   uint64 // matrix meta bytes after VLDI (values excluded)
 	UncompressedMatBytes uint64
+	// TransitionBytesSaved is the inter-iteration y round-trip traffic
+	// that ITS overlap eliminated (Iterate and PageRank).
+	TransitionBytesSaved uint64
 }
 
 // New builds an engine from cfg.
@@ -53,8 +58,13 @@ func (e *Engine) Config() Config { return e.cfg }
 // Traffic returns the accumulated off-chip traffic ledger.
 func (e *Engine) Traffic() mem.Traffic { return e.traffic }
 
-// Stats returns accumulated execution statistics.
-func (e *Engine) Stats() RunStats { return e.stats }
+// Stats returns a snapshot of the accumulated execution statistics; the
+// per-core merge slices are copied so later calls cannot mutate it.
+func (e *Engine) Stats() RunStats {
+	st := e.stats
+	st.MergeStats = e.stats.MergeStats.Clone()
+	return st
+}
 
 // ResetCounters clears the traffic ledger and statistics.
 func (e *Engine) ResetCounters() {
@@ -83,7 +93,7 @@ func (e *Engine) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) 
 			return nil, err
 		}
 		det = d
-		e.stats.HDNFilterBytes = d.SizeBytes()
+		e.stats.HDNFilterBytes += d.SizeBytes()
 		// Building the filter streams the meta-data once (§5.3).
 		e.traffic.MatrixBytes += uint64(a.NNZ()) * uint64(e.cfg.MetaBytes)
 	}
@@ -119,7 +129,7 @@ func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][
 	if len(stripes) > e.cfg.Merge.Ways {
 		return nil, fmt.Errorf("core: %d stripes exceed %d merge ways", len(stripes), e.cfg.Merge.Ways)
 	}
-	e.stats.Stripes = len(stripes)
+	e.stats.Stripes += len(stripes)
 
 	outcomes := make([]stripeOutcome, len(stripes))
 	workers := e.cfg.Workers
@@ -236,7 +246,7 @@ func (e *Engine) runStep2(lists [][]types.Record, dim uint64, yIn vector.Dense) 
 	if err != nil {
 		return nil, err
 	}
-	e.stats.MergeStats = st
+	e.stats.MergeStats.Accumulate(st)
 	e.traffic.ResultBytes += dim * uint64(e.cfg.ValueBytes) // y streamed out
 	if yIn != nil {
 		e.traffic.ResultBytes += dim * uint64(e.cfg.ValueBytes) // y-in streamed in

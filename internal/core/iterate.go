@@ -31,6 +31,23 @@ type IterateResult struct {
 	TransitionBytesSaved uint64
 }
 
+// accountTransition books the traffic of one inter-iteration transition:
+// the freshly produced y must be streamed back in as the next source
+// vector. runStep2 already charged the y stream-out of every SpMV call,
+// so only the x re-read is charged here — charging both would count the
+// y-out bytes twice per transition. With ITS overlap the segment stays
+// on chip in the second buffer and the bytes are recorded as saved
+// instead. Returns the transition byte count either way.
+func (e *Engine) accountTransition(rows uint64, overlap bool) uint64 {
+	transition := rows * uint64(e.cfg.ValueBytes) // y re-read as the next x
+	if overlap {
+		e.stats.TransitionBytesSaved += transition
+	} else {
+		e.traffic.ResultBytes += transition
+	}
+	return transition
+}
+
 // Iterate runs iterative SpMV. With Overlap set, the engine verifies the
 // halved-capacity constraint (two segments must fit in the scratchpad)
 // before running; functionally, overlap and non-overlap produce identical
@@ -69,14 +86,10 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 		}
 		x = y
 
-		transition := a.Rows * uint64(e.cfg.ValueBytes) * 2 // y out + x in
 		if it < opt.Iterations-1 {
+			saved := e.accountTransition(a.Rows, opt.Overlap)
 			if opt.Overlap {
-				// ITS: the freshly generated segment stays on chip in
-				// the second buffer; no DRAM transition round trip.
-				res.TransitionBytesSaved += transition
-			} else {
-				e.traffic.ResultBytes += transition
+				res.TransitionBytesSaved += saved
 			}
 		}
 	}
@@ -88,6 +101,9 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 // PageRank runs damped power iteration until the L1 delta drops below tol
 // or maxIters is reached, returning the rank vector and iterations used.
 // It is the workload of the paper's iterative-SpMV optimization study.
+// Inter-iteration transitions are accounted exactly as in Iterate: the
+// non-overlap schedule charges the x re-read per transition, while ITS
+// overlap accumulates the same bytes into Stats().TransitionBytesSaved.
 func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, overlap bool) (vector.Dense, int, error) {
 	if a.Rows != a.Cols {
 		return nil, 0, fmt.Errorf("core: PageRank needs a square matrix")
@@ -136,6 +152,10 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 		x = y
 		if delta < tol {
 			return x, it, nil
+		}
+		if it < maxIters {
+			// Another SpMV follows: book the transition round trip.
+			e.accountTransition(a.Rows, overlap)
 		}
 	}
 	return x, maxIters, nil

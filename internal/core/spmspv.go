@@ -51,7 +51,7 @@ func (e *Engine) SpMSpV(a *matrix.COO, x *vector.Sparse) (vector.Dense, SpMSpVSt
 		return nil, st, fmt.Errorf("core: %d stripes exceed %d merge ways", len(stripes), e.cfg.Merge.Ways)
 	}
 	st.SegmentsTotal = len(stripes)
-	e.stats.Stripes = len(stripes)
+	e.stats.Stripes += len(stripes)
 
 	// Scatter x nonzeros into per-segment dense buffers; segments with
 	// none stay nil.

@@ -36,12 +36,6 @@ func step1(stripe *matrix.Stripe, xSeg []float64, det *hdn.Detector) (*vector.Sp
 		st.ScratchpadReads++
 		prod := e.Val * x
 		st.Products++
-		if prod == 0 {
-			// Hardware still emits the record; zero products are rare
-			// (only from zero x entries) and keeping them preserves the
-			// one-record-per-touched-row accounting.
-			_ = prod
-		}
 		if det != nil {
 			if det.IsHDN(e.Row) {
 				st.HDN.HDNRecords++

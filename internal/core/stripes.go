@@ -44,7 +44,7 @@ func (e *Engine) SpMVStripes(stripes []*matrix.Stripe, rows, cols uint64, x, yIn
 		return nil, fmt.Errorf("core: stripes cover %d of %d columns", covered, cols)
 	}
 
-	e.stats.Stripes = len(stripes)
+	e.stats.Stripes += len(stripes)
 	lists := make([][]types.Record, len(stripes))
 	for k, s := range stripes {
 		out := e.processStripe(s, x, nil)

@@ -15,6 +15,8 @@ package prap
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"mwmerge/internal/bitonic"
 	"mwmerge/internal/mem"
@@ -39,6 +41,14 @@ type Config struct {
 	DPage uint64
 	// RecordBytes is the record width for buffer accounting.
 	RecordBytes int
+	// MergeWorkers bounds the goroutines Network.Merge runs: the radix
+	// pre-sort shards over input lists and the p merge cores run one
+	// goroutine per residue class, both capped at this bound (the
+	// host-side analogue of the MC-level independence of §4.2). 0
+	// defaults to runtime.GOMAXPROCS; 1 runs fully sequentially. Every
+	// output key is owned by exactly one core, so the result is
+	// bit-identical at any setting — no float reassociation occurs.
+	MergeWorkers int
 }
 
 // DefaultConfig returns the ASIC step-2 network: 16 MCs (q=4) of 2048
@@ -61,11 +71,58 @@ func (c Config) Validate() error {
 	if c.DPage == 0 {
 		return fmt.Errorf("prap: dpage must be positive")
 	}
+	if c.MergeWorkers < 0 {
+		return fmt.Errorf("prap: merge workers must be non-negative")
+	}
 	return nil
 }
 
 // Cores returns p = 2^Q.
 func (c Config) Cores() int { return 1 << c.Q }
+
+// workers resolves the effective goroutine bound for n independent work
+// items: MergeWorkers (GOMAXPROCS when 0) capped at n.
+func (c Config) workers(n int) int {
+	w := c.MergeWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(i) for every i in [0, n) across at most w goroutines;
+// w <= 1 runs inline. Callers guarantee fn(i) touches only i-indexed
+// state, so the parallel schedule cannot perturb results.
+func forEach(w, n int, fn func(int)) {
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
 
 // PrefetchBufferBytes returns the shared prefetch buffer size, K×dpage —
 // independent of the core count (the PRaP scaling property).
@@ -80,6 +137,37 @@ type Stats struct {
 	Injected       uint64   // missing keys injected across all MCs
 	Emitted        uint64   // dense elements streamed out by the store queue
 	PresortBatches uint64   // batches pushed through the bitonic network
+}
+
+// Clone returns a deep copy of s, per-core slices included, so callers
+// can snapshot accumulating statistics without aliasing later updates.
+func (s Stats) Clone() Stats {
+	c := s
+	c.PerCoreInput = append([]uint64(nil), s.PerCoreInput...)
+	c.PerCoreOutput = append([]uint64(nil), s.PerCoreOutput...)
+	return c
+}
+
+// Accumulate adds o into s, growing the per-core slices if needed, so
+// engine-level statistics can aggregate merge runs across calls.
+func (s *Stats) Accumulate(o Stats) {
+	s.PerCoreInput = addCounts(s.PerCoreInput, o.PerCoreInput)
+	s.PerCoreOutput = addCounts(s.PerCoreOutput, o.PerCoreOutput)
+	s.Injected += o.Injected
+	s.Emitted += o.Emitted
+	s.PresortBatches += o.PresortBatches
+}
+
+func addCounts(dst, src []uint64) []uint64 {
+	if len(dst) < len(src) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
 }
 
 // Network is a PRaP step-2 merge network instance.
@@ -100,37 +188,78 @@ func New(cfg Config) (*Network, error) {
 	return &Network{cfg: cfg, sorter: ps}, nil
 }
 
+// routeOutcome carries one list's routing deltas so parallel routing
+// stays side-effect free and the stats merge is deterministic in list
+// order.
+type routeOutcome struct {
+	perCore []uint64
+	batches uint64
+	err     error
+}
+
+// routeList streams one input list through the radix pre-sorter in
+// batches of p records and scatters the outputs into its per-(radix,
+// list) slots. Each list owns column li of every slots[r], so concurrent
+// routeList calls over distinct lists never share a slice element. A
+// genuine record carrying the padding sentinel key is rejected rather
+// than silently dropped.
+func (n *Network) routeList(li int, list []types.Record, slots [][][]types.Record) routeOutcome {
+	p := n.cfg.Cores()
+	out := routeOutcome{perCore: make([]uint64, p)}
+	batch := make([]types.Record, p)
+	for off := 0; off < len(list); off += p {
+		m := copy(batch, list[off:])
+		for i := 0; i < m; i++ {
+			if batch[i].Key == invalidKey {
+				out.err = fmt.Errorf("prap: list %d record %d carries the reserved padding key %#x", li, off+i, invalidKey)
+				return out
+			}
+		}
+		for i := m; i < p; i++ {
+			batch[i] = types.Record{Key: invalidKey}
+		}
+		if p > 1 {
+			if err := n.sorter.Sort(batch); err != nil {
+				out.err = err
+				return out
+			}
+		}
+		out.batches++
+		for _, rec := range batch {
+			if rec.Key == invalidKey {
+				continue
+			}
+			r := int(rec.Radix(n.cfg.Q))
+			slots[r][li] = append(slots[r][li], rec)
+			out.perCore[r]++
+		}
+	}
+	return out
+}
+
 // routeLists streams every input list through the radix pre-sorter in
 // batches of p records and scatters the outputs into per-(list, radix)
 // slots, exactly as the prefetch buffer of Fig. 10 is organized. The
 // stability of the pre-sorter guarantees each slot remains key-sorted.
+// Lists are sharded across MergeWorkers goroutines; per-list stats merge
+// deterministically in list order afterwards.
 func (n *Network) routeLists(lists [][]types.Record, st *Stats) ([][][]types.Record, error) {
 	p := n.cfg.Cores()
 	slots := make([][][]types.Record, p) // slots[radix][list]
 	for r := range slots {
 		slots[r] = make([][]types.Record, len(lists))
 	}
-	batch := make([]types.Record, p)
-	for li, list := range lists {
-		for off := 0; off < len(list); off += p {
-			m := copy(batch, list[off:])
-			for i := m; i < p; i++ {
-				batch[i] = types.Record{Key: invalidKey}
-			}
-			if p > 1 {
-				if err := n.sorter.Sort(batch); err != nil {
-					return nil, err
-				}
-			}
-			st.PresortBatches++
-			for _, rec := range batch[:] {
-				if rec.Key == invalidKey {
-					continue
-				}
-				r := int(rec.Radix(n.cfg.Q))
-				slots[r][li] = append(slots[r][li], rec)
-				st.PerCoreInput[r]++
-			}
+	outcomes := make([]routeOutcome, len(lists))
+	forEach(n.cfg.workers(len(lists)), len(lists), func(li int) {
+		outcomes[li] = n.routeList(li, lists[li], slots)
+	})
+	for _, out := range outcomes {
+		if out.err != nil {
+			return nil, out.err
+		}
+		st.PresortBatches += out.batches
+		for r, c := range out.perCore {
+			st.PerCoreInput[r] += c
 		}
 	}
 	return slots, nil
@@ -140,7 +269,9 @@ func (n *Network) routeLists(lists [][]types.Record, st *Stats) ([][][]types.Rec
 // dimension, adding yIn when non-nil (the +y of y = Ax + y). Input lists
 // must each be sorted by strictly-or-equal ascending key; duplicate keys
 // across or within lists are accumulated. The number of lists must not
-// exceed cfg.Ways.
+// exceed cfg.Ways. With MergeWorkers != 1 the pre-sort and the merge
+// cores run concurrently; the output is bit-identical to the sequential
+// path at any worker count.
 func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, Stats, error) {
 	p := n.cfg.Cores()
 	st := Stats{PerCoreInput: make([]uint64, p), PerCoreOutput: make([]uint64, p)}
@@ -160,36 +291,39 @@ func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (v
 	}
 
 	// Each MC merge-accumulates its residue class, then missing-key
-	// injection densifies its output over keys {r, r+p, r+2p, ...}.
-	perCore := make([][]types.Record, p)
-	for r := 0; r < p; r++ {
-		merged := merge.MergeAccumulate(slots[r])
-		dense, injected := InjectMissingKeys(merged, uint64(r), uint64(p), dim)
-		st.Injected += injected
-		st.PerCoreOutput[r] = uint64(len(dense))
-		perCore[r] = dense
-	}
-
-	// Store queue: cycle c drains y[c·p + r] from MC r — consecutive
-	// dense elements with no reordering logic.
+	// injection densifies its output over keys {r, r+p, r+2p, ...} and
+	// the store queue drains it into the strided slice y[r], y[r+p], ...
+	// No two cores touch the same output element and each element
+	// receives exactly one float64 add, so running the cores on
+	// MergeWorkers goroutines is bit-identical to the sequential drain.
 	out := vector.NewDense(int(dim))
 	if yIn != nil {
 		copy(out, yIn)
 	}
-	cycles := (dim + uint64(p) - 1) / uint64(p)
-	for c := uint64(0); c < cycles; c++ {
-		for r := 0; r < p; r++ {
-			key := c*uint64(p) + uint64(r)
-			if key >= dim {
-				break
-			}
-			rec := perCore[r][c]
+	injected := make([]uint64, p)
+	emitted := make([]uint64, p)
+	coreErr := make([]error, p)
+	forEach(n.cfg.workers(p), p, func(r int) {
+		merged := merge.MergeAccumulate(slots[r])
+		dense, inj := InjectMissingKeys(merged, uint64(r), uint64(p), dim)
+		injected[r] = inj
+		st.PerCoreOutput[r] = uint64(len(dense))
+		for c, rec := range dense {
+			key := uint64(c)*uint64(p) + uint64(r)
 			if rec.Key != key {
-				return nil, st, fmt.Errorf("prap: store queue expected key %d from MC %d, got %d", key, r, rec.Key)
+				coreErr[r] = fmt.Errorf("prap: store queue expected key %d from MC %d, got %d", key, r, rec.Key)
+				return
 			}
 			out[key] += rec.Val
-			st.Emitted++
+			emitted[r]++
 		}
+	})
+	for r := 0; r < p; r++ {
+		if coreErr[r] != nil {
+			return nil, st, coreErr[r]
+		}
+		st.Injected += injected[r]
+		st.Emitted += emitted[r]
 	}
 	return out, st, nil
 }

@@ -231,6 +231,130 @@ func TestMergeProperty(t *testing.T) {
 	}
 }
 
+// TestMergeParallelBitIdentical asserts the tentpole determinism
+// property: at any MergeWorkers setting the merged vector is
+// byte-identical to the sequential (MergeWorkers: 1) run — every output
+// key is owned by exactly one merge core, so no reassociation occurs —
+// and all statistics match exactly.
+func TestMergeParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range []uint{0, 2, 4} {
+		seq := smallConfig(q, 32)
+		seq.MergeWorkers = 1
+		ns, err := New(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim := uint64(1237) // not a multiple of p
+		lists := randomLists(rng, 13, dim, 0.2)
+		want, wantSt, err := ns.Merge(lists, dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 8} {
+			cfg := smallConfig(q, 32)
+			cfg.MergeWorkers = workers
+			np, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := np.Merge(lists, dim, nil)
+			if err != nil {
+				t.Fatalf("q=%d workers=%d: %v", q, workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d workers=%d: y[%d] = %v, want %v (not bit-identical)",
+						q, workers, i, got[i], want[i])
+				}
+			}
+			if gotSt.Injected != wantSt.Injected || gotSt.Emitted != wantSt.Emitted ||
+				gotSt.PresortBatches != wantSt.PresortBatches {
+				t.Errorf("q=%d workers=%d: stats differ: %+v vs %+v", q, workers, gotSt, wantSt)
+			}
+			for r := range wantSt.PerCoreInput {
+				if gotSt.PerCoreInput[r] != wantSt.PerCoreInput[r] ||
+					gotSt.PerCoreOutput[r] != wantSt.PerCoreOutput[r] {
+					t.Errorf("q=%d workers=%d: core %d stats differ", q, workers, r)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeParallelWithYIn covers the y = Ax + y path under parallel
+// merge: yIn is copied before the cores run, so the drain stays
+// bit-identical.
+func TestMergeParallelWithYIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dim := uint64(333)
+	lists := randomLists(rng, 7, dim, 0.3)
+	yIn := vector.NewDense(int(dim))
+	for i := range yIn {
+		yIn[i] = rng.NormFloat64()
+	}
+	seq := smallConfig(3, 16)
+	seq.MergeWorkers = 1
+	ns, _ := New(seq)
+	want, _, err := ns.Merge(lists, dim, yIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := smallConfig(3, 16)
+	par.MergeWorkers = 4
+	np, _ := New(par)
+	got, _, err := np.Merge(lists, dim, yIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeRejectsSentinelKey: a genuine record whose key equals the
+// pre-sorter padding sentinel must be rejected up front, not silently
+// dropped.
+func TestMergeRejectsSentinelKey(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := smallConfig(2, 8)
+		cfg.MergeWorkers = workers
+		n, _ := New(cfg)
+		lists := [][]types.Record{
+			{{Key: 1, Val: 1}},
+			{{Key: 2, Val: 2}, {Key: invalidKey, Val: 3}},
+		}
+		if _, _, err := n.Merge(lists, 10, nil); err == nil {
+			t.Errorf("workers=%d: sentinel-key record accepted", workers)
+		}
+	}
+}
+
+func TestConfigRejectsNegativeMergeWorkers(t *testing.T) {
+	cfg := smallConfig(2, 8)
+	cfg.MergeWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative MergeWorkers accepted")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var s Stats
+	s.Accumulate(Stats{PerCoreInput: []uint64{1, 2}, PerCoreOutput: []uint64{3, 4},
+		Injected: 5, Emitted: 6, PresortBatches: 7})
+	s.Accumulate(Stats{PerCoreInput: []uint64{10, 20}, PerCoreOutput: []uint64{30, 40},
+		Injected: 50, Emitted: 60, PresortBatches: 70})
+	if s.PerCoreInput[0] != 11 || s.PerCoreInput[1] != 22 ||
+		s.PerCoreOutput[0] != 33 || s.PerCoreOutput[1] != 44 {
+		t.Errorf("per-core sums wrong: %+v", s)
+	}
+	if s.Injected != 55 || s.Emitted != 66 || s.PresortBatches != 77 {
+		t.Errorf("scalar sums wrong: %+v", s)
+	}
+}
+
 func TestPartitionedMergeMatchesPRaP(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	dim := uint64(128)
