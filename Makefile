@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz clean
+.PHONY: all build vet lint test race cover bench experiments fuzz clean
 
-all: build vet test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the five invariant analyzers
+# (determinism, statsalias, sentinel, ledgerdiscipline,
+# goroutinecapture) over the whole module. See DESIGN.md §7.
+lint:
+	$(GO) run ./cmd/spmvlint -C .
 
 test:
 	$(GO) test ./...
@@ -29,10 +35,12 @@ bench:
 experiments:
 	$(GO) run ./cmd/spmvbench -exp all -o out
 
-# Short fuzz pass over the parser/codec targets.
+# Short fuzz pass over the parser/codec targets plus the PRaP
+# sentinel-rejection contract.
 fuzz:
 	$(GO) test -fuzz=FuzzDeltaRoundTrip -fuzztime=10s ./internal/vldi/
 	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=10s ./internal/matrix/
+	$(GO) test -fuzz=FuzzRouteLists -fuzztime=10s ./internal/prap/
 
 clean:
 	rm -rf out test_output.txt bench_output.txt

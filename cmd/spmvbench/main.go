@@ -19,33 +19,41 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spmvbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list available experiments")
-		scale  = flag.Uint64("scale", 1<<17, "node cap for functional (materialized) runs")
-		seed   = flag.Int64("seed", 1, "random seed for synthetic workloads")
-		mergeW = flag.Int("merge-workers", 0, "step-2 merge goroutines for functional runs (0 = GOMAXPROCS)")
-		outDir = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+		exp    = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list   = fs.Bool("list", false, "list available experiments")
+		scale  = fs.Uint64("scale", 1<<17, "node cap for functional (materialized) runs")
+		seed   = fs.Int64("seed", 1, "random seed for synthetic workloads")
+		mergeW = fs.Int("merge-workers", 0, "step-2 merge goroutines for functional runs (0 = GOMAXPROCS)")
+		outDir = fs.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
-			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-20s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	opt := bench.Options{Scale: *scale, Seed: *seed, MergeWorkers: *mergeW}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "spmvbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "spmvbench:", err)
+			return 1
 		}
 	}
-	run := func(e bench.Experiment) error {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		var w io.Writer = os.Stdout
+	runExp := func(e bench.Experiment) error {
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
+		w := stdout
 		var f *os.File
 		if *outDir != "" {
 			var err error
@@ -54,31 +62,32 @@ func main() {
 				return err
 			}
 			defer f.Close()
-			w = io.MultiWriter(os.Stdout, f)
+			w = io.MultiWriter(stdout, f)
 		}
 		if err := e.Run(w, opt); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		return nil
 	}
 
 	if *exp == "all" {
 		for _, e := range bench.Registry() {
-			if err := run(e); err != nil {
-				fmt.Fprintln(os.Stderr, "spmvbench:", err)
-				os.Exit(1)
+			if err := runExp(e); err != nil {
+				fmt.Fprintln(stderr, "spmvbench:", err)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 	e, err := bench.Lookup(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "spmvbench:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "spmvbench:", err)
+		return 2
 	}
-	if err := run(e); err != nil {
-		fmt.Fprintln(os.Stderr, "spmvbench:", err)
-		os.Exit(1)
+	if err := runExp(e); err != nil {
+		fmt.Fprintln(stderr, "spmvbench:", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListExperiments smokes flag parsing and the registry listing.
+func TestListExperiments(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit %d: %s", code, errOut.String())
+	}
+	for _, id := range []string{"fig2", "tab1", "ablation-prap"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+// TestRunTinyExperiment drives one functional experiment end-to-end at
+// a small scale and checks both the stdout stream and the -o file copy.
+func TestRunTinyExperiment(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "ablation-prap", "-scale", "4096", "-seed", "3", "-o", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ablation-prap") || !strings.Contains(out.String(), "Cores p") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-prap.txt"))
+	if err != nil {
+		t.Fatalf("-o file missing: %v", err)
+	}
+	if !strings.Contains(string(data), "Cores p") {
+		t.Errorf("-o file lacks experiment table:\n%s", data)
+	}
+}
+
+// TestAnalyticExperiment smokes a model-only experiment (no graph
+// materialization), the other half of the registry.
+func TestAnalyticExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "tab1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Max vertices") {
+		t.Errorf("tab1 output unexpected:\n%s", out.String())
+	}
+}
+
+// TestUnknownExperiment checks the usage-error exit path.
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "no-such-experiment"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown experiment, want 2", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("no error message for unknown experiment")
+	}
+}
+
+// TestBadFlag checks flag-parse failures exit 2 rather than panicking.
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scale", "not-a-number"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for bad flag, want 2", code)
+	}
+}

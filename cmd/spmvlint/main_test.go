@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfLintClean is the `make lint` contract: the suite runs all
+// five analyzers over the whole module and must come back clean.
+func TestSelfLintClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../.."}, &out, &errOut); code != 0 {
+		t.Fatalf("spmvlint exit %d on its own tree:\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "statsalias", "sentinel", "ledgerdiscipline", "goroutinecapture"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr %q lacks unknown-analyzer error", errOut.String())
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-only", "sentinel,determinism"}, &out, &errOut); code != 0 {
+		t.Fatalf("subset lint exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}

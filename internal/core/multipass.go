@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
 	"mwmerge/internal/merge"
 	"mwmerge/internal/types"
 	"mwmerge/internal/vector"
@@ -39,7 +40,7 @@ func (e *Engine) SpMVSliced(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, i
 			return nil, 0, out.err
 		}
 		lists[k] = out.recs
-		e.traffic = e.traffic.Add(out.traffic)
+		e.charge(out.traffic)
 		e.stats.Products += out.st.Products
 		e.stats.IntermediateRecords += uint64(len(out.recs))
 		e.stats.CompressedVecBytes += out.compVec
@@ -63,13 +64,13 @@ func (e *Engine) SpMVSliced(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, i
 			// extra DRAM round trips beyond the baseline two-step flow.
 			for _, l := range batch {
 				b, comp, uncomp := e.vecBytes(l)
-				e.traffic.IntermediateRead += b
+				e.charge(mem.Traffic{IntermediateRead: b})
 				e.stats.CompressedVecBytes += comp
 				e.stats.UncompressedVecBytes += uncomp
 			}
 			combined := merge.MergeAccumulate(batch)
 			b, comp, uncomp := e.vecBytes(combined)
-			e.traffic.IntermediateWrite += b
+			e.charge(mem.Traffic{IntermediateWrite: b})
 			e.stats.CompressedVecBytes += comp
 			e.stats.UncompressedVecBytes += uncomp
 			next = append(next, combined)

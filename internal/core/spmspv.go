@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
 	"mwmerge/internal/types"
 	"mwmerge/internal/vector"
 )
@@ -73,7 +74,7 @@ func (e *Engine) SpMSpV(a *matrix.COO, x *vector.Sparse) (vector.Dense, SpMSpVSt
 		}
 		st.SegmentsActive++
 		// Only the x nonzeros stream on chip for a sparse vector.
-		e.traffic.SourceVectorBytes += segNNZ[k] * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)
+		e.charge(mem.Traffic{SourceVectorBytes: segNNZ[k] * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)})
 
 		v := vector.NewSparse(int(s.Rows), s.NNZ())
 		for _, ent := range s.Entries {
@@ -92,9 +93,9 @@ func (e *Engine) SpMSpV(a *matrix.COO, x *vector.Sparse) (vector.Dense, SpMSpVSt
 
 		nnz := uint64(s.NNZ())
 		_, metaBytes := matrix.BestStripeFormat(s.Rows, nnz, e.cfg.MetaBytes)
-		e.traffic.MatrixBytes += nnz*uint64(e.cfg.ValueBytes) + metaBytes
+		e.charge(mem.Traffic{MatrixBytes: nnz*uint64(e.cfg.ValueBytes) + metaBytes})
 		b, comp, uncomp := e.vecBytes(v.Recs)
-		e.traffic.IntermediateWrite += b
+		e.charge(mem.Traffic{IntermediateWrite: b})
 		e.stats.CompressedVecBytes += comp
 		e.stats.UncompressedVecBytes += uncomp
 		lists[k] = v.Recs

@@ -52,7 +52,7 @@ func (e *Engine) SpMVStripes(stripes []*matrix.Stripe, rows, cols uint64, x, yIn
 			return nil, out.err
 		}
 		lists[k] = out.recs
-		e.traffic = e.traffic.Add(out.traffic)
+		e.charge(out.traffic)
 		e.stats.Products += out.st.Products
 		e.stats.IntermediateRecords += uint64(len(out.recs))
 		e.stats.CompressedVecBytes += out.compVec

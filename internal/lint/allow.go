@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowKey identifies one suppressed (file, line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet records every //lint:allow annotation in a package. An
+// annotation suppresses findings of the named analyzer on its own line
+// and on the line directly below it (the usual "comment above the
+// statement" placement).
+type allowSet map[allowKey]bool
+
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		s[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}
+
+// collectAllows scans a package's comments for //lint:allow annotations.
+// Malformed annotations — no analyzer name, an unknown analyzer, or a
+// missing justification — are reported rather than silently ignored, so
+// the escape hatch cannot decay into an unexplained mute button.
+func collectAllows(pass *Pass) (allowSet, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allows := make(allowSet)
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := pass.Fset.Position(c.Pos())
+				if len(fields) == 0 || !known[fields[0]] {
+					pass.report(&diags, "allow", c.Pos(),
+						"lint:allow needs a known analyzer name (one of %s)", analyzerNames())
+					continue
+				}
+				if len(fields) < 2 {
+					pass.report(&diags, "allow", c.Pos(),
+						"lint:allow %s needs a justification", fields[0])
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allows, diags
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer guards the paper's bit-identical-results claim:
+// the numeric packages (core, merge, prap, vldi, bitonic) must not
+// iterate maps (unspecified order), draw random numbers, or read the
+// wall clock in shipped code. Any of the three lets two runs of the
+// same SpMV diverge, which breaks both the crosscheck tests and the
+// "deterministic at any worker count" contract of the parallel merge.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid map iteration, math/rand, and time.Now in numeric-result packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) []Diagnostic {
+	if !hasPath(pass.Config.NumericPackages, pass.PkgPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.report(&diags, "determinism", imp.Pos(),
+					"package %s imports %s; numeric-result packages must be deterministic", pass.PkgPath, path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.report(&diags, "determinism", n.Pos(),
+							"range over map has unspecified order; iterate sorted keys instead")
+					}
+				}
+			case *ast.CallExpr:
+				if isPkgCall(pass, n, "time", "Now") {
+					pass.report(&diags, "determinism", n.Pos(),
+						"time.Now in a numeric-result package makes runs irreproducible; thread timestamps in from the caller")
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

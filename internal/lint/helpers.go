@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hasPath reports whether path is in list (exact import-path match).
+func hasPath(list []string, path string) bool {
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgCall reports whether call invokes pkgPath.name through a plain
+// package selector (e.g. time.Now()).
+func isPkgCall(pass *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return isPkgSelector(pass, sel, pkgPath, name)
+}
+
+// isPkgSelector reports whether sel is a reference to pkgPath.name.
+func isPkgSelector(pass *Pass, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// rootIdent unwraps a selector/index/paren/star chain to its base
+// identifier, or nil when the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object, whether it is a use or a
+// definition site.
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// typeContainsReference reports whether t transitively contains a slice,
+// map, pointer, channel, or function value — i.e. whether a shallow copy
+// of t still shares mutable state with the original.
+func typeContainsReference(t types.Type) bool {
+	return containsReference(t, make(map[types.Type]bool))
+}
+
+func containsReference(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return containsReference(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsReference(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isReceiverRooted reports whether e is the receiver itself or a
+// selector/index chain whose base identifier resolves to recv.
+func isReceiverRooted(pass *Pass, e ast.Expr, recv types.Object) bool {
+	if recv == nil {
+		return false
+	}
+	id := rootIdent(e)
+	return id != nil && objOf(pass, id) == recv
+}
+
+// referencesObj reports whether any identifier inside e resolves to obj.
+func referencesObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(pass, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsCall reports whether e contains any function call — the
+// signal that a value was produced (cloned, built) rather than aliased.
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// within reports whether pos falls inside node's source range.
+func within(node ast.Node, obj types.Object) bool {
+	return obj != nil && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LedgerAnalyzer enforces traffic-ledger discipline. Every performance
+// number in the evaluation derives from the off-chip byte ledger
+// (mem.Traffic), and PR 1's double-count and dropped-overlap bugs both
+// came from ad-hoc `e.traffic.X += ...` arithmetic scattered across
+// call sites. The rule: persistent ledger state (a ledger reached
+// through a receiver, parameter, or package variable) may only be
+// mutated inside the ledger's own package or inside an explicitly
+// blessed accounting helper (core's charge/accountTransition). Building
+// up a ledger in a function-local value — the side-effect-free outcome
+// pattern — stays free, as does resetting a ledger to its zero literal.
+var LedgerAnalyzer = &Analyzer{
+	Name: "ledgerdiscipline",
+	Doc:  "persistent traffic-ledger counters may only change inside blessed accounting helpers",
+	Run:  runLedger,
+}
+
+func runLedger(pass *Pass) []Diagnostic {
+	if pass.PkgPath == pass.Config.LedgerPackage {
+		return nil
+	}
+	var diags []Diagnostic
+	blessed := make(map[string]bool)
+	for _, name := range pass.Config.BlessedLedgerFuncs[pass.PkgPath] {
+		blessed[name] = true
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if blessed[fd.Name.Name] {
+				continue
+			}
+			checkLedgerFunc(pass, fd, &diags)
+		}
+	}
+	return diags
+}
+
+func checkLedgerFunc(pass *Pass, fd *ast.FuncDecl, diags *[]Diagnostic) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				checkLedgerWrite(pass, fd, lhs, n.Tok, rhs, diags)
+			}
+		case *ast.IncDecStmt:
+			checkLedgerWrite(pass, fd, n.X, token.ASSIGN, nil, diags)
+		}
+		return true
+	})
+}
+
+// checkLedgerWrite flags lhs when it mutates persistent ledger state:
+// either a counter field of a ledger-typed value, or a ledger-typed
+// field being overwritten wholesale.
+func checkLedgerWrite(pass *Pass, fd *ast.FuncDecl, lhs ast.Expr, tok token.Token, rhs ast.Expr, diags *[]Diagnostic) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	counterWrite := isLedgerType(pass, pass.Info.TypeOf(sel.X))
+	ledgerWrite := isLedgerType(pass, pass.Info.TypeOf(sel))
+	if !counterWrite && !ledgerWrite {
+		return
+	}
+	// Resetting a ledger field to its zero literal is bookkeeping
+	// hygiene (ResetCounters), not a charge.
+	if ledgerWrite && !counterWrite && tok == token.ASSIGN && isEmptyComposite(rhs) {
+		return
+	}
+	// Accumulating into a function-local ledger value (the outcome
+	// pattern) is side-effect free; only escaping state is protected.
+	if root := rootIdent(lhs); root != nil {
+		if v, ok := objOf(pass, root).(*types.Var); ok {
+			if within(fd.Body, v) && !isPointer(v.Type()) {
+				return
+			}
+		}
+	}
+	what := "ledger-typed field " + exprString(sel)
+	if counterWrite {
+		what = "ledger counter " + exprString(sel)
+	}
+	pass.report(diags, "ledgerdiscipline", lhs.Pos(),
+		"%s mutated outside %s and outside the blessed accounting helpers; route the charge through one",
+		what, pass.Config.LedgerPackage)
+}
+
+func isLedgerType(pass *Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == pass.Config.LedgerType &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pass.Config.LedgerPackage
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isEmptyComposite(e ast.Expr) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}
+
+// exprString renders a selector chain for the diagnostic message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

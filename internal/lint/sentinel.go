@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// allOnes is the reserved padding key's bit pattern. Declaring it as a
+// named constant also makes this file a sanctioned home for the raw
+// spelling under the analyzer's own rule.
+const allOnes = ^uint64(0)
+
+// SentinelAnalyzer quarantines the reserved padding key. The pre-sorter
+// pads partial batches with key ^uint64(0) (the hardware's invalid
+// lane), and routeLists rejects genuine records carrying it — but only
+// if no other code path smuggles the raw bit pattern in as a real key.
+// The rule: the all-ones pattern may be spelled out only in a file that
+// binds it to a named constant (invalidKey and friends); everywhere
+// else code must use the constant, so every use is greppable and the
+// reserved-key contract stays visible at the declaration site.
+var SentinelAnalyzer = &Analyzer{
+	Name: "sentinel",
+	Doc:  "forbid raw ^uint64(0) / math.MaxUint64 outside files declaring a named sentinel constant",
+	Run:  runSentinel,
+}
+
+func runSentinel(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		// A file that declares a named constant for the pattern is the
+		// sanctioned home of the raw spelling; skip it wholesale.
+		if declaresSentinelConst(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if isRawAllOnes(pass, n) {
+					pass.report(&diags, "sentinel", n.Pos(),
+						"raw ^uint64(0) is the reserved padding key; use the named sentinel constant")
+					return false // don't re-report the inner conversion
+				}
+			case *ast.SelectorExpr:
+				if isPkgSelector(pass, n, "math", "MaxUint64") {
+					pass.report(&diags, "sentinel", n.Pos(),
+						"math.MaxUint64 is the reserved padding key's bit pattern; use the named sentinel constant")
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isRawAllOnes matches ^uint64(0)-shaped expressions: a bitwise
+// complement whose operand is a uint64-typed constant zero.
+func isRawAllOnes(pass *Pass, u *ast.UnaryExpr) bool {
+	if u.Op != token.XOR {
+		return false
+	}
+	tv, ok := pass.Info.Types[u.X]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uint64 || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Uint64Val(tv.Value)
+	return ok && v == 0
+}
+
+// declaresSentinelConst reports whether file binds the all-ones pattern
+// to a named constant, at package scope or inside a function.
+func declaresSentinelConst(pass *Pass, file *ast.File) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			return !found
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					break
+				}
+				obj := pass.Info.Defs[name]
+				c, ok := obj.(*types.Const)
+				if !ok {
+					continue
+				}
+				if c.Val().Kind() != constant.Int {
+					continue
+				}
+				if v, ok := constant.Uint64Val(c.Val()); ok && v == allOnes {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatsAliasAnalyzer targets the exact bug class fixed in
+// core.Engine.Stats(): an exported snapshot accessor returns a stats
+// struct by value, but a slice/map field inside it still aliases the
+// receiver, so the "snapshot" mutates under the caller as the engine
+// keeps accumulating. The analyzer inspects every exported Stats/
+// Snapshot-style method returning a struct with reference-typed fields
+// (transitively) and requires each such field to be severed from the
+// receiver — produced by a call (Clone, append, make+copy helper), a
+// fresh literal, or nil — before the value escapes.
+var StatsAliasAnalyzer = &Analyzer{
+	Name: "statsalias",
+	Doc:  "exported stats snapshot accessors must deep-copy reference-typed fields",
+	Run:  runStatsAlias,
+}
+
+func runStatsAlias(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if !fd.Name.IsExported() || !isSnapshotName(fd.Name.Name) {
+				continue
+			}
+			checkSnapshotMethod(pass, fd, &diags)
+		}
+	}
+	return diags
+}
+
+// isSnapshotName matches the accessor naming convention the invariant
+// covers: Stats, FooStats, Snapshot, FooSnapshot.
+func isSnapshotName(name string) bool {
+	return strings.HasSuffix(name, "Stats") || strings.HasSuffix(name, "Snapshot")
+}
+
+func checkSnapshotMethod(pass *Pass, fd *ast.FuncDecl, diags *[]Diagnostic) {
+	results := fd.Type.Results
+	if results == nil || len(results.List) != 1 || len(results.List[0].Names) > 1 {
+		return
+	}
+	rt := pass.Info.TypeOf(results.List[0].Type)
+	if rt == nil {
+		return
+	}
+	st, ok := rt.Underlying().(*types.Struct)
+	if !ok {
+		return // pointer/interface returns are aliasing by design
+	}
+	refFields := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if typeContainsReference(f.Type()) {
+			refFields[f.Name()] = true
+		}
+	}
+	if len(refFields) == 0 {
+		return
+	}
+
+	var recv types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		recv = pass.Info.Defs[names[0]]
+	}
+	if recv == nil {
+		return // anonymous receiver cannot leak state
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		checkReturn(pass, fd, ret.Results[0], recv, refFields, diags)
+		return true
+	})
+}
+
+func checkReturn(pass *Pass, fd *ast.FuncDecl, expr ast.Expr, recv types.Object, refFields map[string]bool, diags *[]Diagnostic) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr, *ast.Ident:
+		if isReceiverRooted(pass, e, recv) {
+			// `return c.stats`: every reference field aliases the receiver.
+			reportAliasedFields(pass, fd, expr, refFields, nil, diags)
+			return
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := objOf(pass, id).(*types.Var)
+		if !ok || !within(fd.Body, v) {
+			return
+		}
+		// Local snapshot variable: if it starts as a shallow copy of
+		// receiver state, each reference field must be re-severed
+		// before the return.
+		if !localCopiesReceiver(pass, fd, v, recv) {
+			return
+		}
+		covered := coveredFields(pass, fd, v, recv)
+		reportAliasedFields(pass, fd, expr, refFields, covered, diags)
+	case *ast.CompositeLit:
+		for i, elt := range e.Elts {
+			var name string
+			var val ast.Expr
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				name, val = key.Name, kv.Value
+			} else {
+				name, val = fieldNameAt(pass, e, i), elt
+			}
+			if !refFields[name] {
+				continue
+			}
+			if isReceiverRooted(pass, val, recv) && !containsCall(val) {
+				pass.report(diags, "statsalias", val.Pos(),
+					"%s.%s: field %s aliases receiver state; deep-copy it before returning",
+					recvTypeName(fd), fd.Name.Name, name)
+			}
+		}
+	}
+}
+
+// localCopiesReceiver reports whether v is initialized as a plain copy
+// of receiver state (`st := e.stats` or `var st = e.stats`).
+func localCopiesReceiver(pass *Pass, fd *ast.FuncDecl, v *types.Var, recv types.Object) bool {
+	copies := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || objOf(pass, id) != v {
+				continue
+			}
+			if isReceiverRooted(pass, as.Rhs[i], recv) && !containsCall(as.Rhs[i]) {
+				copies = true
+			}
+		}
+		return !copies
+	})
+	return copies
+}
+
+// coveredFields collects the top-level fields of local snapshot v that
+// are reassigned to a severed value (a call result, a fresh literal, or
+// anything not referencing the receiver) somewhere in the method body.
+func coveredFields(pass *Pass, fd *ast.FuncDecl, v *types.Var, recv types.Object) map[string]bool {
+	covered := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok || objOf(pass, base) != v {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if containsCall(rhs) || !referencesObj(pass, rhs, recv) {
+				covered[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return covered
+}
+
+func reportAliasedFields(pass *Pass, fd *ast.FuncDecl, at ast.Expr, refFields, covered map[string]bool, diags *[]Diagnostic) {
+	names := make([]string, 0, len(refFields))
+	for name := range refFields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if covered[name] {
+			continue
+		}
+		pass.report(diags, "statsalias", at.Pos(),
+			"%s.%s: returned snapshot's field %s still aliases receiver state; deep-copy it (see core.Engine.Stats)",
+			recvTypeName(fd), fd.Name.Name, name)
+	}
+}
+
+// fieldNameAt resolves a positional composite-literal element to its
+// struct field name.
+func fieldNameAt(pass *Pass, lit *ast.CompositeLit, i int) string {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return ""
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok || i >= st.NumFields() {
+		return ""
+	}
+	return st.Field(i).Name()
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "receiver"
+}

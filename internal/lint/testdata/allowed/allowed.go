@@ -1,0 +1,23 @@
+// Package allowed exercises the //lint:allow escape hatch: justified
+// annotations suppress findings, malformed ones do not and are
+// themselves reported.
+package allowed
+
+// Count iterates a map three times; the first two suppressions carry a
+// justification, the third does not.
+func Count(m map[int]int) int {
+	n := 0
+	//lint:allow determinism counting map entries is order-independent
+	for range m {
+		n++
+	}
+	total := 0
+	for k := range m { //lint:allow determinism summation into a commutative integer total
+		total += k
+	}
+	//lint:allow determinism
+	for range m {
+		n++
+	}
+	return n + total
+}

@@ -1,0 +1,18 @@
+// Package determneg shows the deterministic equivalents the analyzer
+// must stay silent on: ordered slice iteration and map lookups keyed by
+// a caller-supplied order.
+package determneg
+
+import "sort"
+
+// Sum folds values in the caller's key order, sorted first, so the
+// float accumulation order is fixed.
+func Sum(keys []uint64, vals map[uint64]float64) float64 {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	total := 0.0
+	for _, k := range sorted {
+		total += vals[k]
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package determpos seeds every determinism violation class: map
+// iteration, math/rand, and wall-clock reads in a numeric package.
+package determpos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sum folds map values in iteration order — which Go randomizes, so two
+// runs of the "same" computation differ in float accumulation order.
+func Sum(m map[uint64]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	sum += rand.Float64()
+	return sum + float64(time.Now().UnixNano())
+}

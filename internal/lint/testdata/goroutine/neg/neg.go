@@ -1,0 +1,47 @@
+// Package goneg shows the sanctioned worker patterns the analyzer must
+// accept: per-index slot writes, sync/atomic, and closure-local state.
+package goneg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PerSlot publishes each worker's result into its own slice slot.
+func PerSlot(xs []uint64) []uint64 {
+	out := make([]uint64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// AtomicSum accumulates through sync/atomic.
+func AtomicSum(xs []uint64) uint64 {
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total.Add(xs[i])
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// LocalOnly mutates only closure-local variables.
+func LocalOnly() {
+	go func() {
+		n := 0
+		n++
+		_ = n
+	}()
+}

@@ -1,0 +1,34 @@
+// Package gopos seeds goroutine-capture violations: worker closures
+// writing captured variables directly instead of publishing through
+// per-index slots.
+package gopos
+
+import "sync"
+
+// Accumulate races every worker on one shared total.
+func Accumulate(xs []uint64) uint64 {
+	var total uint64
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += xs[i]
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// State is shared mutable state.
+type State struct{ N uint64 }
+
+// Bump writes a captured struct field from the goroutine.
+func Bump(s *State) {
+	done := make(chan struct{})
+	go func() {
+		s.N++
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,37 @@
+// Package ledgerneg shows the sanctioned ledger patterns: local outcome
+// accumulation, a blessed charging helper, and the zero-literal reset.
+package ledgerneg
+
+import "mwmerge/internal/mem"
+
+// Outcome carries per-work-item ledger deltas (side-effect-free).
+type Outcome struct{ Traffic mem.Traffic }
+
+// Engine holds a persistent ledger.
+type Engine struct{ traffic mem.Traffic }
+
+// Route accumulates into a function-local outcome, which is free.
+func Route(bytes uint64) Outcome {
+	var out Outcome
+	out.Traffic.MatrixBytes += bytes
+	out.Traffic.IntermediateWrite += 2 * bytes
+	return out
+}
+
+// BlessedCharge is registered as a blessed accounting helper in the
+// analyzer test configuration, mirroring core.Engine.charge.
+func (e *Engine) BlessedCharge(delta mem.Traffic) {
+	e.traffic = e.traffic.Add(delta)
+}
+
+// Reset clears the ledger to its zero literal — hygiene, not a charge.
+func (e *Engine) Reset() {
+	e.traffic = mem.Traffic{}
+}
+
+// Total builds a throwaway local ledger, also free.
+func Total(bytes uint64) mem.Traffic {
+	t := mem.Traffic{}
+	t.ResultBytes += bytes
+	return t
+}

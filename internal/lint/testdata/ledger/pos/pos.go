@@ -1,0 +1,19 @@
+// Package ledgerpos seeds ledger-discipline violations: persistent
+// (receiver-held) traffic counters mutated by ad-hoc arithmetic outside
+// any blessed accounting helper.
+package ledgerpos
+
+import "mwmerge/internal/mem"
+
+// Engine holds a persistent ledger, like core.Engine.
+type Engine struct{ traffic mem.Traffic }
+
+// AddMatrix charges the ledger directly — the PR 1 bug class.
+func (e *Engine) AddMatrix(b uint64) {
+	e.traffic.MatrixBytes += b
+}
+
+// Overwrite replaces the whole persistent ledger wholesale.
+func (e *Engine) Overwrite(t mem.Traffic) {
+	e.traffic = t
+}

@@ -1,0 +1,22 @@
+// Package sentneg is the sanctioned pattern: the padding key bound to a
+// named constant in its declaring file, all uses going through the name.
+package sentneg
+
+// invalidKey marks pre-sorter padding lanes; declaring it makes this
+// file the legitimate home of the raw bit pattern.
+const invalidKey = ^uint64(0)
+
+// Record mirrors the merge network's key/value pair.
+type Record struct {
+	Key uint64
+	Val float64
+}
+
+// Pad stamps the named sentinel onto empty lanes.
+func Pad(batch []Record) {
+	for i := range batch {
+		if batch[i].Val == 0 {
+			batch[i].Key = invalidKey
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package sentpos seeds sentinel-hygiene violations: the reserved
+// padding bit pattern spelled raw, in both of its spellings, in a file
+// that declares no named sentinel constant.
+package sentpos
+
+import "math"
+
+// Record mirrors the merge network's key/value pair.
+type Record struct {
+	Key uint64
+	Val float64
+}
+
+// Pad stamps the raw all-ones key onto empty lanes.
+func Pad(batch []Record) {
+	for i := range batch {
+		if batch[i].Val == 0 {
+			batch[i].Key = ^uint64(0)
+		}
+	}
+}
+
+// Limit leaks the same pattern through the math constant.
+func Limit() uint64 { return math.MaxUint64 }

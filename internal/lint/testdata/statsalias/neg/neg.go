@@ -1,0 +1,38 @@
+// Package statsneg shows alias-free snapshot accessors the analyzer
+// must accept: clone methods, fully re-severed local copies, and
+// scalar-only structs returned by plain copy.
+package statsneg
+
+// Stats carries one reference-typed field.
+type Stats struct {
+	Calls uint64
+	Hist  []uint64
+}
+
+func (s Stats) clone() Stats {
+	c := s
+	c.Hist = append([]uint64(nil), s.Hist...)
+	return c
+}
+
+// Tracker accumulates statistics across calls.
+type Tracker struct{ stats Stats }
+
+// Stats snapshots through the clone helper.
+func (t *Tracker) Stats() Stats { return t.stats.clone() }
+
+// SnapStats severs every reference field of the local copy in place.
+func (t *Tracker) SnapStats() Stats {
+	st := t.stats
+	st.Hist = append([]uint64(nil), t.stats.Hist...)
+	return st
+}
+
+// Counts is scalar-only; a shallow copy is already a snapshot.
+type Counts struct{ A, B uint64 }
+
+// Counter accumulates scalar counts.
+type Counter struct{ counts Counts }
+
+// Stats may return scalar-only state by value.
+func (c *Counter) Stats() Counts { return c.counts }

@@ -1,0 +1,32 @@
+// Package statspos seeds the stats-aliasing bug class: snapshot
+// accessors whose returned struct still shares slices with the
+// receiver.
+package statspos
+
+type inner struct{ Hist []uint64 }
+
+// Stats mixes scalar and reference-typed fields, nested one level.
+type Stats struct {
+	Calls  uint64
+	Hist   []uint64
+	Nested inner
+}
+
+// Tracker accumulates statistics across calls.
+type Tracker struct{ stats Stats }
+
+// Stats returns the receiver state by straight copy: Hist and
+// Nested.Hist both still alias the live accumulator.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// HistStats aliases through a composite literal.
+func (t *Tracker) HistStats() Stats {
+	return Stats{Calls: t.stats.Calls, Hist: t.stats.Hist}
+}
+
+// DeepStats clones Hist but forgets the nested slice.
+func (t *Tracker) DeepStats() Stats {
+	st := t.stats
+	st.Hist = append([]uint64(nil), t.stats.Hist...)
+	return st
+}
