@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments fuzz clean
+.PHONY: all build vet lint test race cover bench experiments report fuzz clean
 
 all: build vet lint test race
 
@@ -12,9 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: the five invariant analyzers
+# Project-specific static analysis: the six invariant analyzers
 # (determinism, statsalias, sentinel, ledgerdiscipline,
-# goroutinecapture) over the whole module. See DESIGN.md §7.
+# goroutinecapture, pkgdoc) over the whole module. See DESIGN.md §7.
 lint:
 	$(GO) run ./cmd/spmvlint -C .
 
@@ -34,6 +34,16 @@ bench:
 # Regenerate every table and figure into out/.
 experiments:
 	$(GO) run ./cmd/spmvbench -exp all -o out
+
+# Regenerate the documented example run report (EXPERIMENTS.md §run
+# reports): a PageRank-style overlapped iterative run with the JSON
+# report, Prometheus exposition, and span-lane Gantt chart in out/.
+report:
+	mkdir -p out
+	$(GO) run ./cmd/spmvrun -gen zipf -nodes 50000 -degree 8 -seed 1 \
+		-iters 5 -damping 0.85 -overlap -workers 4 -vldi 8 -hdn 500 \
+		-report out/pagerank.report.json -prom out/pagerank.prom \
+		-trace out/pagerank.gantt.txt
 
 # Short fuzz pass over the parser/codec targets plus the PRaP
 # sentinel-rejection contract.

@@ -6,6 +6,7 @@
 //	spmvbench -list
 //	spmvbench -exp fig17
 //	spmvbench -exp all -scale 65536 -seed 7
+//	spmvbench -exp functional -report out/   # + out/functional.report.json, .gantt.txt
 package main
 
 import (
@@ -14,8 +15,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"mwmerge/internal/bench"
+	"mwmerge/internal/report"
 )
 
 func main() {
@@ -26,12 +30,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("spmvbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
-		list   = fs.Bool("list", false, "list available experiments")
-		scale  = fs.Uint64("scale", 1<<17, "node cap for functional (materialized) runs")
-		seed   = fs.Int64("seed", 1, "random seed for synthetic workloads")
-		mergeW = fs.Int("merge-workers", 0, "step-2 merge goroutines for functional runs (0 = GOMAXPROCS)")
-		outDir = fs.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+		exp        = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list       = fs.Bool("list", false, "list available experiments")
+		scale      = fs.Uint64("scale", 1<<17, "node cap for functional (materialized) runs")
+		seed       = fs.Int64("seed", 1, "random seed for synthetic workloads")
+		mergeW     = fs.Int("merge-workers", 0, "step-2 merge goroutines for functional runs (0 = GOMAXPROCS)")
+		outDir     = fs.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+		reportDir  = fs.String("report", "", "write per-experiment run reports to <dir>/<id>.report.json and <dir>/<id>.gantt.txt")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,11 +51,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opt := bench.Options{Scale: *scale, Seed: *seed, MergeWorkers: *mergeW}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			fmt.Fprintln(stderr, "spmvbench:", err)
 			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "spmvbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opt := bench.Options{Scale: *scale, Seed: *seed, MergeWorkers: *mergeW}
+	for _, dir := range []string{*outDir, *reportDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(stderr, "spmvbench:", err)
+				return 1
+			}
 		}
 	}
 	runExp := func(e bench.Experiment) error {
@@ -64,30 +87,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			w = io.MultiWriter(stdout, f)
 		}
-		if err := e.Run(w, opt); err != nil {
+		expOpt := opt
+		if *reportDir != "" {
+			// A fresh recorder per experiment keeps each report's wall
+			// clock and iteration list scoped to that experiment alone.
+			expOpt.Recorder = report.NewRecorder()
+		}
+		if err := e.Run(w, expOpt); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if expOpt.Recorder != nil {
+			if err := writeReports(*reportDir, e.ID, expOpt.Recorder); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
 		}
 		fmt.Fprintln(stdout)
 		return nil
 	}
 
+	code := 0
 	if *exp == "all" {
 		for _, e := range bench.Registry() {
 			if err := runExp(e); err != nil {
 				fmt.Fprintln(stderr, "spmvbench:", err)
-				return 1
+				code = 1
+				break
 			}
 		}
-		return 0
+	} else {
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(stderr, "spmvbench:", err)
+			return 2
+		}
+		if err := runExp(e); err != nil {
+			fmt.Fprintln(stderr, "spmvbench:", err)
+			code = 1
+		}
 	}
-	e, err := bench.Lookup(*exp)
+
+	if code == 0 && *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "spmvbench:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, "spmvbench:", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// writeReports renders one experiment's recorder as <dir>/<id>.report.json
+// and <dir>/<id>.gantt.txt. Analytic-only experiments build no engines, so
+// their reports are legitimately empty.
+func writeReports(dir, id string, rec *report.Recorder) error {
+	rep := rec.Build(report.Meta{Workload: "spmvbench -exp " + id})
+	jf, err := os.Create(filepath.Join(dir, id+".report.json"))
 	if err != nil {
-		fmt.Fprintln(stderr, "spmvbench:", err)
-		return 2
+		return err
 	}
-	if err := runExp(e); err != nil {
-		fmt.Fprintln(stderr, "spmvbench:", err)
-		return 1
+	if err := rep.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
 	}
-	return 0
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	gf, err := os.Create(filepath.Join(dir, id+".gantt.txt"))
+	if err != nil {
+		return err
+	}
+	if err := rec.Gantt(gf, 64); err != nil {
+		gf.Close()
+		return err
+	}
+	return gf.Close()
 }

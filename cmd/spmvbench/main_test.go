@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,5 +70,49 @@ func TestBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-scale", "not-a-number"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d for bad flag, want 2", code)
+	}
+}
+
+// TestReportArtifacts runs a functional experiment with -report and
+// checks the JSON run report and Gantt chart land in the directory with
+// real content: the engine under ablation-vldi charges traffic, so the
+// report's totals must be nonzero.
+func TestReportArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "ablation-vldi", "-scale", "2048", "-report", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-vldi.report.json"))
+	if err != nil {
+		t.Fatalf("report JSON missing: %v", err)
+	}
+	var rep struct {
+		Meta struct {
+			Workload string `json:"workload"`
+		} `json:"meta"`
+		Iterations []json.RawMessage `json:"iterations"`
+		Totals     struct {
+			Traffic struct {
+				TotalBytes uint64 `json:"total_bytes"`
+			} `json:"traffic"`
+		} `json:"totals"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Meta.Workload != "spmvbench -exp ablation-vldi" {
+		t.Errorf("workload = %q", rep.Meta.Workload)
+	}
+	if len(rep.Iterations) == 0 || rep.Totals.Traffic.TotalBytes == 0 {
+		t.Errorf("report recorded nothing: %s", data)
+	}
+	gantt, err := os.ReadFile(filepath.Join(dir, "ablation-vldi.gantt.txt"))
+	if err != nil {
+		t.Fatalf("gantt missing: %v", err)
+	}
+	if !strings.Contains(string(gantt), "cycles") {
+		t.Errorf("gantt lacks scale line:\n%s", gantt)
 	}
 }

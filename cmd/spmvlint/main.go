@@ -1,7 +1,8 @@
 // Command spmvlint runs the project's static-analysis suite over the
-// whole module: five analyzers enforcing the determinism, stats-alias,
-// sentinel, traffic-ledger, and goroutine-capture invariants the
-// reproduction's correctness story depends on (see DESIGN.md §7).
+// whole module: six analyzers enforcing the determinism, stats-alias,
+// sentinel, traffic-ledger, goroutine-capture, and package-doc
+// invariants the reproduction's correctness story depends on (see
+// DESIGN.md §7).
 //
 // Usage:
 //

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mwmerge/internal/graph"
@@ -72,5 +74,97 @@ func TestLoadMatrixSniffsFormats(t *testing.T) {
 	}
 	if _, err := loadMatrix(filepath.Join(dir, "missing"), "", 0, 0, 0); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestRunWithObservability drives the full CLI path: a damped iterative
+// run with -report/-trace/-prom plus both pprof flags, then checks every
+// artifact. The JSON report must carry one iteration snapshot per -iters
+// and nonzero traffic totals.
+func TestRunWithObservability(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "run.json")
+	promPath := filepath.Join(dir, "run.prom")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-gen", "er", "-nodes", "2000", "-degree", "3", "-seed", "9",
+		"-iters", "3", "-damping", "0.85", "-overlap", "-workers", "2",
+		"-report", jsonPath, "-trace", "-", "-prom", promPath,
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Max |error| vs reference") {
+		t.Errorf("missing validation line:\n%s", out.String())
+	}
+	// -trace - lands the Gantt on stdout.
+	if !strings.Contains(out.String(), "cycles") {
+		t.Errorf("stdout lacks Gantt scale line:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-report file: %v", err)
+	}
+	var rep struct {
+		Meta struct {
+			Workload string `json:"workload"`
+			Rows     uint64 `json:"rows"`
+			Overlap  bool   `json:"overlap"`
+		} `json:"meta"`
+		Lanes      []json.RawMessage `json:"lanes"`
+		Iterations []json.RawMessage `json:"iterations"`
+		Totals     struct {
+			Traffic struct {
+				TotalBytes uint64 `json:"total_bytes"`
+			} `json:"traffic"`
+			TransitionBytesSaved uint64 `json:"transition_bytes_saved"`
+		} `json:"totals"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-report is not valid JSON: %v", err)
+	}
+	if rep.Meta.Rows != 2000 || !rep.Meta.Overlap || !strings.HasPrefix(rep.Meta.Workload, "spmvrun ") {
+		t.Errorf("meta = %+v", rep.Meta)
+	}
+	if len(rep.Iterations) != 3 {
+		t.Errorf("%d iteration snapshots, want 3", len(rep.Iterations))
+	}
+	if len(rep.Lanes) == 0 || rep.Totals.Traffic.TotalBytes == 0 {
+		t.Errorf("report recorded nothing: %s", data)
+	}
+	if rep.Totals.TransitionBytesSaved == 0 {
+		t.Error("overlapped 3-iteration run saved no transition bytes")
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatalf("-prom file: %v", err)
+	}
+	if !strings.Contains(string(prom), "mwmerge_traffic_bytes_total") {
+		t.Errorf("prometheus output lacks traffic metric:\n%s", prom)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunPlainStillWorks keeps the default (no recorder) CLI path green.
+func TestRunPlainStillWorks(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-gen", "er", "-nodes", "1000"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Off-chip traffic") {
+		t.Errorf("missing traffic summary:\n%s", out.String())
 	}
 }

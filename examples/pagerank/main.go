@@ -1,12 +1,14 @@
 // PageRank on a power-law graph: the iterative-SpMV workload of the
 // paper's §5.2-§5.3. Demonstrates Iteration-overlapped Two-Step (ITS),
-// which removes the y→x DRAM round trip between iterations, and the
-// Bloom-filter High-Degree-Node pipeline for the graph's hubs.
+// which removes the y→x DRAM round trip between iterations, the
+// Bloom-filter High-Degree-Node pipeline for the graph's hubs, and the
+// observability run report (DESIGN.md §8) capturing the whole run.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"mwmerge"
@@ -24,11 +26,14 @@ func main() {
 
 	// Enable the HDN pipeline: nodes above degree 500 route to the
 	// dedicated accumulator, detected by a one-memory-access Bloom
-	// filter.
+	// filter. A run recorder collects span lanes and per-iteration
+	// ledger snapshots; it costs nothing when left nil.
+	rec := mwmerge.NewRunRecorder()
 	cfg := mwmerge.DefaultEngineConfig()
 	h := hdn.DefaultConfig()
 	h.Threshold = 500
 	cfg.HDN = &h
+	cfg.Recorder = rec
 	eng, err := mwmerge.NewEngine(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -57,5 +62,21 @@ func main() {
 	fmt.Println("Top ranked nodes:")
 	for _, nr := range top[:5] {
 		fmt.Printf("  node %6d  rank %.6f\n", nr.node, nr.rank)
+	}
+
+	// The run report: per-iteration traffic and the ITS overlap windows,
+	// written as a JSON document plus an ASCII Gantt of the span lanes.
+	rep := rec.Build(mwmerge.ReportMeta{
+		Workload: "examples/pagerank",
+		Rows:     a.Rows, Cols: a.Cols, NNZ: uint64(a.NNZ()),
+		Overlap: true,
+	})
+	fmt.Printf("\nRun report: %d iterations, %d span lanes, %s of traffic\n",
+		len(rep.Iterations), len(rep.Lanes), fmt.Sprintf("%.1f MiB", float64(rep.Totals.Traffic.TotalBytes)/(1<<20)))
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.Gantt(os.Stdout, 64); err != nil {
+		log.Fatal(err)
 	}
 }

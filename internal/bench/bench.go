@@ -11,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"mwmerge/internal/report"
 )
 
 // Options tunes experiment execution.
@@ -23,6 +25,11 @@ type Options struct {
 	// functional runs (0 = GOMAXPROCS, 1 = sequential). Results are
 	// bit-identical at any setting; only wall-clock time changes.
 	MergeWorkers int
+	// Recorder, when non-nil, is attached to every functional engine the
+	// experiment builds, collecting the observability run report
+	// (DESIGN.md §8). Analytic-model experiments build no engines and
+	// record nothing.
+	Recorder *report.Recorder
 }
 
 // DefaultOptions returns sizes suitable for a laptop-scale run.

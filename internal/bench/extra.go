@@ -105,6 +105,7 @@ func RunAblationVLDIMeasured(w io.Writer, opt Options) error {
 			HBM:         defaultHBM(),
 			VectorCodec: codec,
 			MatrixCodec: codec,
+			Recorder:    opt.Recorder,
 		}
 		eng, err := core.New(cfg)
 		if err != nil {

@@ -31,6 +31,7 @@ func RunFunctional(w io.Writer, opt Options) error {
 			Lanes:           8,
 			Merge:           prap.Config{Q: 3, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: opt.MergeWorkers},
 			HBM:             defaultHBM(),
+			Recorder:        opt.Recorder,
 		}
 		if withVLDI {
 			cfg.VectorCodec = codec

@@ -14,6 +14,7 @@ import (
 	"mwmerge/internal/hdn"
 	"mwmerge/internal/mem"
 	"mwmerge/internal/prap"
+	"mwmerge/internal/report"
 	"mwmerge/internal/types"
 	"mwmerge/internal/vldi"
 )
@@ -52,6 +53,13 @@ type Config struct {
 	// separate Merge.MergeWorkers knob, which spreads the PRaP merge
 	// cores across goroutines with bit-identical results.
 	Workers int
+	// Recorder, when non-nil, collects the observability run report:
+	// wall-clock spans for step-1 stripe workers, the PRaP pre-sort and
+	// merge cores, and ITS overlap windows, plus per-iteration
+	// ledger-counter snapshots (see internal/report and DESIGN.md §8).
+	// Recording never changes results or the ledger; nil (the default)
+	// disables every instrumentation hook.
+	Recorder *report.Recorder
 }
 
 // DefaultConfig returns the TS_ASIC design point: 8 MiB scratchpad,

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"mwmerge/internal/hdn"
 	"mwmerge/internal/matrix"
 	"mwmerge/internal/mem"
 	"mwmerge/internal/prap"
+	"mwmerge/internal/report"
 	"mwmerge/internal/types"
 	"mwmerge/internal/vector"
 	"mwmerge/internal/vldi"
@@ -19,6 +21,17 @@ type Engine struct {
 	network *prap.Network
 	traffic mem.Traffic
 	stats   RunStats
+
+	// Observability state, live only when rec is non-nil. lastSnap is
+	// the cumulative counter state at the previous iteration boundary
+	// (snapshots record deltas); iterating suppresses the per-SpMV
+	// snapshot inside Iterate/PageRank, which record per-iteration
+	// boundaries themselves; lastS1End marks where step 1 of the latest
+	// SpMV finished on the recorder clock (the ITS overlap window edge).
+	rec       *report.Recorder
+	lastSnap  report.Counters
+	iterating bool
+	lastS1End uint64
 }
 
 // RunStats aggregates execution statistics across calls: every field
@@ -49,7 +62,10 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, network: n}, nil
+	if cfg.Recorder != nil {
+		n.SetObserver(cfg.Recorder)
+	}
+	return &Engine{cfg: cfg, network: n, rec: cfg.Recorder}, nil
 }
 
 // Config returns the engine configuration.
@@ -77,6 +93,39 @@ func (e *Engine) Stats() RunStats {
 func (e *Engine) ResetCounters() {
 	e.traffic = mem.Traffic{}
 	e.stats = RunStats{}
+	e.lastSnap = report.Counters{}
+}
+
+// counters assembles the cumulative observability counter state from
+// the ledger and statistics. Read-only on both.
+func (e *Engine) counters() report.Counters {
+	return report.Counters{
+		Traffic:              e.traffic,
+		TransitionBytesSaved: e.stats.TransitionBytesSaved,
+		Products:             e.stats.Products,
+		IntermediateRecords:  e.stats.IntermediateRecords,
+		HDNRecords:           e.stats.HDN.HDNRecords,
+		HDNFalseRouted:       e.stats.HDN.FalseRouted,
+		VecCompressedBytes:   e.stats.CompressedVecBytes,
+		VecUncompressedBytes: e.stats.UncompressedVecBytes,
+		MatCompressedBytes:   e.stats.CompressedMatBytes,
+		MatUncompressedBytes: e.stats.UncompressedMatBytes,
+		MergeInjected:        e.stats.MergeStats.Injected,
+		MergeEmitted:         e.stats.MergeStats.Emitted,
+	}
+}
+
+// snapshot books the counter delta since the previous snapshot into the
+// recorder as one iteration boundary. Because every entry point
+// snapshots when it finishes, the sum of a report's per-iteration
+// deltas equals the engine's cumulative ledger exactly.
+func (e *Engine) snapshot(label string) {
+	if e.rec == nil {
+		return
+	}
+	cum := e.counters()
+	e.rec.RecordIteration(label, cum.Sub(e.lastSnap))
+	e.lastSnap = cum
 }
 
 // SpMV computes y = A·x + yIn with the Two-Step algorithm. yIn may be nil
@@ -109,7 +158,14 @@ func (e *Engine) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) 
 	if err != nil {
 		return nil, err
 	}
-	return e.runStep2(lists, a.Rows, yIn)
+	y, err := e.runStep2(lists, a.Rows, yIn)
+	if err != nil {
+		return nil, err
+	}
+	if !e.iterating {
+		e.snapshot("spmv")
+	}
+	return y, nil
 }
 
 // stripeOutcome carries one stripe's records plus its accounting deltas,
@@ -146,27 +202,35 @@ func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][
 	if workers > len(stripes) {
 		workers = len(stripes)
 	}
+	var s1 report.Span
+	if e.rec != nil {
+		s1 = e.rec.StartSpan("phase", "s1")
+	}
 	if workers <= 1 {
 		for k, s := range stripes {
-			outcomes[k] = e.processStripe(s, x, det)
+			outcomes[k] = e.stripeTask(0, k, s, x, det)
 		}
 	} else {
 		var wg sync.WaitGroup
 		work := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for k := range work {
-					outcomes[k] = e.processStripe(stripes[k], x, det)
+					outcomes[k] = e.stripeTask(w, k, stripes[k], x, det)
 				}
-			}()
+			}(w)
 		}
 		for k := range stripes {
 			work <- k
 		}
 		close(work)
 		wg.Wait()
+	}
+	if e.rec != nil {
+		s1.End()
+		e.lastS1End = e.rec.Now()
 	}
 
 	lists := make([][]types.Record, len(stripes))
@@ -187,6 +251,18 @@ func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][
 		e.stats.UncompressedMatBytes += out.uncompMat
 	}
 	return lists, nil
+}
+
+// stripeTask runs one stripe's step 1, wrapped in a span on the
+// executing worker's lane when a recorder is attached — the per-lane
+// utilization behind the report's step-1 load-balance view.
+func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det *hdn.Detector) stripeOutcome {
+	if e.rec == nil {
+		return e.processStripe(s, x, det)
+	}
+	sp := e.rec.StartSpan("step1/w"+strconv.Itoa(worker), "s"+strconv.Itoa(k))
+	defer sp.End()
+	return e.processStripe(s, x, det)
 }
 
 // processStripe runs step 1 for one stripe and computes its full
@@ -243,6 +319,9 @@ func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detect
 // runStep2 merges the intermediate lists through the PRaP network and
 // accounts the intermediate-read and result traffic.
 func (e *Engine) runStep2(lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, error) {
+	if e.rec != nil {
+		defer e.rec.StartSpan("phase", "s2").End()
+	}
 	for _, l := range lists {
 		b, comp, uncomp := e.vecBytes(l)
 		e.charge(mem.Traffic{IntermediateRead: b})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"mwmerge/internal/matrix"
 	"mwmerge/internal/vector"
@@ -48,6 +49,22 @@ func (e *Engine) accountTransition(rows uint64, overlap bool) uint64 {
 	return transition
 }
 
+// recordIteration closes the observability record of one loop iteration:
+// an "iter" lane span covering it, an "its" overlap window for overlapped
+// iterations after the first (iteration start to this SpMV's step-1 end —
+// the window step 2 of the previous iteration drains in on hardware,
+// Fig. 15), and a counter-delta snapshot. No-op without a recorder.
+func (e *Engine) recordIteration(it int, start uint64, overlap bool) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.AddSpan("iter", "i"+strconv.Itoa(it), start, e.rec.Now())
+	if overlap && it > 0 {
+		e.rec.AddSpan("its", "o"+strconv.Itoa(it), start, e.lastS1End)
+	}
+	e.snapshot("iter")
+}
+
 // Iterate runs iterative SpMV. With Overlap set, the engine verifies the
 // halved-capacity constraint (two segments must fit in the scratchpad)
 // before running; functionally, overlap and non-overlap produce identical
@@ -72,7 +89,13 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 
 	x := x0.Clone()
 	n := float64(a.Rows)
+	e.iterating = true
+	defer func() { e.iterating = false }()
 	for it := 0; it < opt.Iterations; it++ {
+		var iterStart uint64
+		if e.rec != nil {
+			iterStart = e.rec.Now()
+		}
 		y, err := e.SpMV(a, x, nil)
 		if err != nil {
 			return res, fmt.Errorf("core: iteration %d: %w", it, err)
@@ -92,6 +115,7 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 				res.TransitionBytesSaved += saved
 			}
 		}
+		e.recordIteration(it, iterStart, opt.Overlap)
 	}
 	res.X = x
 	res.Iterations = opt.Iterations
@@ -131,7 +155,13 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 	if a.Rows > capacity {
 		return nil, 0, fmt.Errorf("core: dimension %d exceeds capacity %d", a.Rows, capacity)
 	}
+	e.iterating = true
+	defer func() { e.iterating = false }()
 	for it := 1; it <= maxIters; it++ {
+		var iterStart uint64
+		if e.rec != nil {
+			iterStart = e.rec.Now()
+		}
 		y, err := e.SpMV(norm, x, nil)
 		if err != nil {
 			return nil, it, err
@@ -151,12 +181,14 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 		}
 		x = y
 		if delta < tol {
+			e.recordIteration(it-1, iterStart, overlap)
 			return x, it, nil
 		}
 		if it < maxIters {
 			// Another SpMV follows: book the transition round trip.
 			e.accountTransition(a.Rows, overlap)
 		}
+		e.recordIteration(it-1, iterStart, overlap)
 	}
 	return x, maxIters, nil
 }

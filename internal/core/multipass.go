@@ -81,5 +81,6 @@ func (e *Engine) SpMVSliced(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, i
 	if err != nil {
 		return nil, passes, err
 	}
+	e.snapshot("sliced")
 	return y, passes, nil
 }

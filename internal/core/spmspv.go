@@ -105,5 +105,6 @@ func (e *Engine) SpMSpV(a *matrix.COO, x *vector.Sparse) (vector.Dense, SpMSpVSt
 	if err != nil {
 		return nil, st, err
 	}
+	e.snapshot("spmspv")
 	return y, st, nil
 }

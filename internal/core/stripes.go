@@ -60,5 +60,10 @@ func (e *Engine) SpMVStripes(stripes []*matrix.Stripe, rows, cols uint64, x, yIn
 		e.stats.CompressedMatBytes += out.compMat
 		e.stats.UncompressedMatBytes += out.uncompMat
 	}
-	return e.runStep2(lists, rows, yIn)
+	y, err := e.runStep2(lists, rows, yIn)
+	if err != nil {
+		return nil, err
+	}
+	e.snapshot("stripes")
+	return y, nil
 }

@@ -58,6 +58,9 @@ type Config struct {
 	// reserved padding key; any file declaring one may spell the raw
 	// bit pattern.
 	SentinelConsts []string
+	// DocPackages are import-path prefixes under which every package
+	// must carry a canonical package doc comment (the pkgdoc analyzer).
+	DocPackages []string
 }
 
 // DefaultConfig returns the repository's invariant surface.
@@ -81,6 +84,7 @@ func DefaultConfig() Config {
 			"mwmerge/internal/core": {"charge", "accountTransition"},
 		},
 		SentinelConsts: []string{"invalidKey", "invalid"},
+		DocPackages:    []string{"mwmerge/internal"},
 	}
 }
 
@@ -118,6 +122,7 @@ func All() []*Analyzer {
 		SentinelAnalyzer,
 		LedgerAnalyzer,
 		GoroutineAnalyzer,
+		PkgDocAnalyzer,
 	}
 }
 

@@ -38,7 +38,7 @@ func loadCorpus(t *testing.T, ld *Loader, root, rel string) *Package {
 
 // TestAnalyzers drives every analyzer over its seeded positive corpus
 // (each violation must be caught, in order) and its negative corpus
-// (the suite must stay silent). All five analyzers run on every corpus,
+// (the suite must stay silent). All six analyzers run on every corpus,
 // so the test also proves no analyzer misfires on another's code.
 func TestAnalyzers(t *testing.T) {
 	root := moduleRoot(t)
@@ -120,6 +120,24 @@ func TestAnalyzers(t *testing.T) {
 		{
 			corpus: "goroutine/neg",
 			config: func(p string) Config { return Config{ParallelPackages: []string{p}} },
+		},
+		{
+			corpus: "pkgdoc/pos",
+			config: func(p string) Config { return Config{DocPackages: []string{p}} },
+			want: []string{
+				"pkgdoc|no package doc comment",
+			},
+		},
+		{
+			corpus: "pkgdoc/malformed",
+			config: func(p string) Config { return Config{DocPackages: []string{p}} },
+			want: []string{
+				"pkgdoc|should start with",
+			},
+		},
+		{
+			corpus: "pkgdoc/neg",
+			config: func(p string) Config { return Config{DocPackages: []string{p}} },
 		},
 		{
 			corpus: "allowed",

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PkgDocAnalyzer enforces the documentation floor of the observability
+// work: every package under a configured prefix (the internal/ tree by
+// default) must carry a package doc comment, and that comment must open
+// with the canonical "Package <name>" form so godoc renders a sentence
+// rather than a fragment. A package's doc may live on any one of its
+// files; one clean file satisfies the whole package.
+var PkgDocAnalyzer = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "packages under the documented prefixes must have a canonical package doc comment",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) []Diagnostic {
+	if !underDocPrefix(pass.Config.DocPackages, pass.PkgPath) {
+		return nil
+	}
+	name := pass.Pkg.Name()
+	var docs []*ast.File
+	for _, f := range pass.Files {
+		if f.Doc == nil {
+			continue
+		}
+		docs = append(docs, f)
+		if strings.HasPrefix(strings.TrimSpace(f.Doc.Text()), "Package "+name) {
+			return nil
+		}
+	}
+	var diags []Diagnostic
+	if len(docs) == 0 {
+		pass.report(&diags, "pkgdoc", pass.Files[0].Name.Pos(),
+			"package %s has no package doc comment; document what the package models before the package clause", name)
+		return diags
+	}
+	pass.report(&diags, "pkgdoc", docs[0].Doc.Pos(),
+		"package %s doc comment should start with %q", name, "Package "+name)
+	return diags
+}
+
+// underDocPrefix reports whether path equals one of the prefixes or lies
+// beneath one.
+func underDocPrefix(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

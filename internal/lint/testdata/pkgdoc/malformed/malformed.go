@@ -1,0 +1,6 @@
+// Utilities for doing things. This doc comment exists but skips the
+// canonical "Package pkgdocbad" opening, so godoc renders a fragment.
+package pkgdocbad
+
+// Thing is documented.
+func Thing() int { return 3 }

@@ -1,0 +1,5 @@
+package pkgdocneg
+
+// Extra lives in a second, doc-less file; neg.go's package doc covers
+// the whole package.
+func Extra() int { return 5 }

@@ -1,0 +1,6 @@
+// Package pkgdocneg demonstrates the canonical form: a doc comment
+// opening with "Package <name>" on one file of the package.
+package pkgdocneg
+
+// Documented is fine.
+func Documented() int { return 4 }

@@ -1,0 +1,5 @@
+package pkgdocpos
+
+// Second file, also without a package doc: the analyzer must report the
+// package once, not per file.
+func Other() int { return 2 }

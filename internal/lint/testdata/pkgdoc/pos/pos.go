@@ -1,0 +1,5 @@
+package pkgdocpos
+
+// Helper is exported and documented, but the package itself is not —
+// the violation pkgdoc exists to catch.
+func Helper() int { return 1 }

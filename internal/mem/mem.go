@@ -45,6 +45,20 @@ func (t Traffic) Add(o Traffic) Traffic {
 	}
 }
 
+// Sub returns the component-wise difference t - o. It underflows if o
+// exceeds t in any component; callers subtract an earlier snapshot of
+// the same monotone ledger, where that cannot happen.
+func (t Traffic) Sub(o Traffic) Traffic {
+	return Traffic{
+		MatrixBytes:       t.MatrixBytes - o.MatrixBytes,
+		SourceVectorBytes: t.SourceVectorBytes - o.SourceVectorBytes,
+		IntermediateWrite: t.IntermediateWrite - o.IntermediateWrite,
+		IntermediateRead:  t.IntermediateRead - o.IntermediateRead,
+		ResultBytes:       t.ResultBytes - o.ResultBytes,
+		WastageBytes:      t.WastageBytes - o.WastageBytes,
+	}
+}
+
 func (t Traffic) String() string {
 	return fmt.Sprintf("traffic{A=%s x=%s vW=%s vR=%s y=%s waste=%s total=%s}",
 		FormatBytes(t.MatrixBytes), FormatBytes(t.SourceVectorBytes),

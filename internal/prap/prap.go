@@ -16,6 +16,7 @@ package prap
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"mwmerge/internal/bitonic"
@@ -96,13 +97,15 @@ func (c Config) workers(n int) int {
 	return w
 }
 
-// forEach runs fn(i) for every i in [0, n) across at most w goroutines;
-// w <= 1 runs inline. Callers guarantee fn(i) touches only i-indexed
-// state, so the parallel schedule cannot perturb results.
-func forEach(w, n int, fn func(int)) {
+// forEach runs fn(worker, i) for every i in [0, n) across at most w
+// goroutines; w <= 1 runs inline as worker 0. Callers guarantee fn
+// touches only i-indexed state, so the parallel schedule cannot perturb
+// results. The worker index exists solely for observability: span
+// instrumentation groups tasks by the goroutine that executed them.
+func forEach(w, n int, fn func(worker, i int)) {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -110,12 +113,12 @@ func forEach(w, n int, fn func(int)) {
 	work := make(chan int)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for i := range work {
-				fn(i)
+				fn(g, i)
 			}
-		}()
+		}(g)
 	}
 	for i := 0; i < n; i++ {
 		work <- i
@@ -170,10 +173,43 @@ func addCounts(dst, src []uint64) []uint64 {
 	return dst
 }
 
+// SpanObserver receives begin/end callbacks for the network's internal
+// parallel phases, letting an observability layer (internal/report)
+// attribute wall-clock time to individual pre-sort lists and merge
+// cores without this package depending on it. Begin opens a span on the
+// given lane and returns the closure that ends it. Implementations must
+// be safe for concurrent use: spans arrive from MergeWorkers goroutines
+// at once.
+type SpanObserver interface {
+	Begin(lane, name string) (end func())
+}
+
 // Network is a PRaP step-2 merge network instance.
 type Network struct {
 	cfg    Config
 	sorter *bitonic.PreSorter
+	obs    SpanObserver
+}
+
+// SetObserver attaches a span observer to the network's parallel phases
+// (nil detaches). Observation never changes results: spans wrap the
+// per-list routing and per-core merge tasks, whose outputs stay
+// bit-identical at any worker count.
+func (n *Network) SetObserver(o SpanObserver) { n.obs = o }
+
+// instrumented wraps a per-index task so each execution emits a span on
+// lane "<phase>/g<worker>" named "<task><i>"; with no observer the task
+// runs bare. The worker-indexed lanes expose per-goroutine utilization,
+// the host-side analogue of the paper's per-MC load balance (Fig. 11).
+func (n *Network) instrumented(phase, task string, fn func(int)) func(worker, i int) {
+	if n.obs == nil {
+		return func(_, i int) { fn(i) }
+	}
+	return func(worker, i int) {
+		end := n.obs.Begin(phase+"/g"+strconv.Itoa(worker), task+strconv.Itoa(i))
+		fn(i)
+		end()
+	}
 }
 
 // New builds a PRaP network.
@@ -250,9 +286,9 @@ func (n *Network) routeLists(lists [][]types.Record, st *Stats) ([][][]types.Rec
 		slots[r] = make([][]types.Record, len(lists))
 	}
 	outcomes := make([]routeOutcome, len(lists))
-	forEach(n.cfg.workers(len(lists)), len(lists), func(li int) {
+	forEach(n.cfg.workers(len(lists)), len(lists), n.instrumented("presort", "l", func(li int) {
 		outcomes[li] = n.routeList(li, lists[li], slots)
-	})
+	}))
 	for _, out := range outcomes {
 		if out.err != nil {
 			return nil, out.err
@@ -303,7 +339,7 @@ func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (v
 	injected := make([]uint64, p)
 	emitted := make([]uint64, p)
 	coreErr := make([]error, p)
-	forEach(n.cfg.workers(p), p, func(r int) {
+	forEach(n.cfg.workers(p), p, n.instrumented("merge", "mc", func(r int) {
 		merged := merge.MergeAccumulate(slots[r])
 		dense, inj := InjectMissingKeys(merged, uint64(r), uint64(p), dim)
 		injected[r] = inj
@@ -317,7 +353,7 @@ func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (v
 			out[key] += rec.Val
 			emitted[r]++
 		}
-	})
+	}))
 	for r := 0; r < p; r++ {
 		if coreErr[r] != nil {
 			return nil, st, coreErr[r]

@@ -1,0 +1,247 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Meta identifies the workload a report describes.
+type Meta struct {
+	// Workload names the run (a command line, an experiment ID).
+	Workload string `json:"workload"`
+	// Matrix shape of the main operand, when there is one.
+	Rows uint64 `json:"rows,omitempty"`
+	Cols uint64 `json:"cols,omitempty"`
+	NNZ  uint64 `json:"nnz,omitempty"`
+	// Parallelism knobs of the run.
+	Workers      int `json:"workers,omitempty"`
+	MergeWorkers int `json:"merge_workers,omitempty"`
+	MergeCores   int `json:"merge_cores,omitempty"`
+	// Overlap records whether ITS iteration overlap was on.
+	Overlap bool `json:"overlap,omitempty"`
+}
+
+// TrafficJSON is the stable JSON shape of one off-chip traffic ledger.
+type TrafficJSON struct {
+	MatrixBytes       uint64 `json:"matrix_bytes"`
+	SourceVectorBytes uint64 `json:"source_vector_bytes"`
+	IntermediateWrite uint64 `json:"intermediate_write_bytes"`
+	IntermediateRead  uint64 `json:"intermediate_read_bytes"`
+	ResultBytes       uint64 `json:"result_bytes"`
+	WastageBytes      uint64 `json:"wastage_bytes"`
+	TotalBytes        uint64 `json:"total_bytes"`
+}
+
+// CountersJSON is the stable JSON shape of a Counters snapshot; see
+// DESIGN.md §8 for the unit and paper-figure mapping of each field.
+type CountersJSON struct {
+	Traffic              TrafficJSON `json:"traffic"`
+	TransitionBytesSaved uint64      `json:"transition_bytes_saved"`
+	Products             uint64      `json:"products"`
+	IntermediateRecords  uint64      `json:"intermediate_records"`
+	HDNRecords           uint64      `json:"hdn_records"`
+	HDNFalseRouted       uint64      `json:"hdn_false_routed"`
+	VecCompressedBytes   uint64      `json:"vldi_vector_compressed_bytes"`
+	VecUncompressedBytes uint64      `json:"vldi_vector_uncompressed_bytes"`
+	MatCompressedBytes   uint64      `json:"vldi_matrix_compressed_bytes"`
+	MatUncompressedBytes uint64      `json:"vldi_matrix_uncompressed_bytes"`
+	MergeInjected        uint64      `json:"merge_injected"`
+	MergeEmitted         uint64      `json:"merge_emitted"`
+}
+
+func countersJSON(c Counters) CountersJSON {
+	return CountersJSON{
+		Traffic: TrafficJSON{
+			MatrixBytes:       c.Traffic.MatrixBytes,
+			SourceVectorBytes: c.Traffic.SourceVectorBytes,
+			IntermediateWrite: c.Traffic.IntermediateWrite,
+			IntermediateRead:  c.Traffic.IntermediateRead,
+			ResultBytes:       c.Traffic.ResultBytes,
+			WastageBytes:      c.Traffic.WastageBytes,
+			TotalBytes:        c.Traffic.Total(),
+		},
+		TransitionBytesSaved: c.TransitionBytesSaved,
+		Products:             c.Products,
+		IntermediateRecords:  c.IntermediateRecords,
+		HDNRecords:           c.HDNRecords,
+		HDNFalseRouted:       c.HDNFalseRouted,
+		VecCompressedBytes:   c.VecCompressedBytes,
+		VecUncompressedBytes: c.VecUncompressedBytes,
+		MatCompressedBytes:   c.MatCompressedBytes,
+		MatUncompressedBytes: c.MatUncompressedBytes,
+		MergeInjected:        c.MergeInjected,
+		MergeEmitted:         c.MergeEmitted,
+	}
+}
+
+// Lane summarizes one timeline lane: how much of the run's makespan it
+// spent busy. The per-worker step1/ and merge/ lanes make the Fig. 11
+// load-balance story measurable on a real run.
+type Lane struct {
+	Lane        string  `json:"lane"`
+	Spans       int     `json:"spans"`
+	BusyNS      uint64  `json:"busy_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Iteration is one recorded iteration boundary with its counter deltas.
+type Iteration struct {
+	Index    int          `json:"index"`
+	Label    string       `json:"label"`
+	AtNS     uint64       `json:"at_ns"`
+	Counters CountersJSON `json:"counters"`
+}
+
+// Report is one run's complete observability surface, ready to render.
+type Report struct {
+	Meta       Meta         `json:"meta"`
+	WallNS     uint64       `json:"wall_ns"`
+	Lanes      []Lane       `json:"lanes"`
+	Iterations []Iteration  `json:"iterations"`
+	Totals     CountersJSON `json:"totals"`
+
+	totals Counters // un-marshalled form, for programmatic checks
+}
+
+// TotalCounters returns the summed per-iteration deltas in their
+// arithmetic form, for tests that compare against an engine's ledger.
+func (rep *Report) TotalCounters() Counters { return rep.totals }
+
+// Build assembles the report: per-lane busy time and utilization over
+// the recorded makespan, the iteration snapshots in record order, and
+// totals as the exact sum of the per-iteration deltas.
+func (r *Recorder) Build(meta Meta) *Report {
+	rep := &Report{Meta: meta}
+	if r == nil {
+		rep.Totals = countersJSON(Counters{})
+		return rep
+	}
+	spans := r.tl.Spans()
+	makespan := r.tl.Makespan()
+	rep.WallNS = r.Now()
+	if rep.WallNS < makespan {
+		rep.WallNS = makespan
+	}
+
+	busy := map[string]uint64{}
+	count := map[string]int{}
+	var laneOrder []string
+	for _, s := range spans {
+		if _, seen := busy[s.Lane]; !seen {
+			laneOrder = append(laneOrder, s.Lane)
+		}
+		busy[s.Lane] += s.End - s.Start
+		count[s.Lane]++
+	}
+	sort.Strings(laneOrder)
+	for _, lane := range laneOrder {
+		u := 0.0
+		if makespan > 0 {
+			u = float64(busy[lane]) / float64(makespan)
+		}
+		rep.Lanes = append(rep.Lanes, Lane{Lane: lane, Spans: count[lane], BusyNS: busy[lane], Utilization: u})
+	}
+
+	r.mu.Lock()
+	iters := append([]iteration(nil), r.iters...)
+	r.mu.Unlock()
+	var totals Counters
+	for i, it := range iters {
+		totals = totals.Add(it.delta)
+		rep.Iterations = append(rep.Iterations, Iteration{
+			Index:    i,
+			Label:    it.label,
+			AtNS:     it.at,
+			Counters: countersJSON(it.delta),
+		})
+	}
+	rep.totals = totals
+	rep.Totals = countersJSON(totals)
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// promWriter emits Prometheus text-exposition lines, latching the
+// first write error so a metric block reads linearly.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) header(name, typ, help string) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+}
+
+func (p *promWriter) metric(name, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %g\n", name, labels, v)
+}
+
+// WritePrometheus renders the report's totals and lane gauges in the
+// Prometheus text exposition format (version 0.0.4), suitable for a
+// node_exporter textfile collector or a push gateway. Per-iteration
+// series are deliberately not exported — Prometheus scrapes state, not
+// history; the JSON report carries the iteration axis.
+func (rep *Report) WritePrometheus(w io.Writer) error {
+	t := rep.Totals
+	p := &promWriter{w: w}
+
+	p.header("mwmerge_traffic_bytes_total", "counter", "Off-chip traffic by Fig. 4 category.")
+	p.metric("mwmerge_traffic_bytes_total", `category="matrix"`, float64(t.Traffic.MatrixBytes))
+	p.metric("mwmerge_traffic_bytes_total", `category="source_vector"`, float64(t.Traffic.SourceVectorBytes))
+	p.metric("mwmerge_traffic_bytes_total", `category="intermediate_write"`, float64(t.Traffic.IntermediateWrite))
+	p.metric("mwmerge_traffic_bytes_total", `category="intermediate_read"`, float64(t.Traffic.IntermediateRead))
+	p.metric("mwmerge_traffic_bytes_total", `category="result"`, float64(t.Traffic.ResultBytes))
+	p.metric("mwmerge_traffic_bytes_total", `category="wastage"`, float64(t.Traffic.WastageBytes))
+
+	p.header("mwmerge_transition_saved_bytes_total", "counter", "Inter-iteration y round-trip bytes ITS overlap kept on chip.")
+	p.metric("mwmerge_transition_saved_bytes_total", "", float64(t.TransitionBytesSaved))
+	p.header("mwmerge_products_total", "counter", "Step-1 multiply-accumulate operations.")
+	p.metric("mwmerge_products_total", "", float64(t.Products))
+	p.header("mwmerge_intermediate_records_total", "counter", "Step-1 intermediate vector records.")
+	p.metric("mwmerge_intermediate_records_total", "", float64(t.IntermediateRecords))
+	p.header("mwmerge_hdn_records_total", "counter", "Records routed to the High-Degree-Node pipeline.")
+	p.metric("mwmerge_hdn_records_total", "", float64(t.HDNRecords))
+	p.header("mwmerge_hdn_false_routed_total", "counter", "Bloom-filter false positives routed to the HDN pipeline.")
+	p.metric("mwmerge_hdn_false_routed_total", "", float64(t.HDNFalseRouted))
+
+	p.header("mwmerge_vldi_bytes_total", "counter", "Meta-data bytes before/after VLDI compression.")
+	p.metric("mwmerge_vldi_bytes_total", `stream="vector",form="compressed"`, float64(t.VecCompressedBytes))
+	p.metric("mwmerge_vldi_bytes_total", `stream="vector",form="uncompressed"`, float64(t.VecUncompressedBytes))
+	p.metric("mwmerge_vldi_bytes_total", `stream="matrix",form="compressed"`, float64(t.MatCompressedBytes))
+	p.metric("mwmerge_vldi_bytes_total", `stream="matrix",form="uncompressed"`, float64(t.MatUncompressedBytes))
+
+	p.header("mwmerge_merge_injected_total", "counter", "Missing keys injected by the PRaP merge cores.")
+	p.metric("mwmerge_merge_injected_total", "", float64(t.MergeInjected))
+	p.header("mwmerge_merge_emitted_total", "counter", "Dense elements streamed out by the PRaP store queue.")
+	p.metric("mwmerge_merge_emitted_total", "", float64(t.MergeEmitted))
+	p.header("mwmerge_iterations_total", "counter", "Recorded iteration boundaries.")
+	p.metric("mwmerge_iterations_total", "", float64(len(rep.Iterations)))
+	p.header("mwmerge_wall_seconds", "gauge", "Wall-clock duration covered by the report.")
+	p.metric("mwmerge_wall_seconds", "", float64(rep.WallNS)/1e9)
+
+	p.header("mwmerge_lane_utilization", "gauge", "Busy fraction of each span lane over the makespan (Fig. 11/15).")
+	for _, l := range rep.Lanes {
+		p.metric("mwmerge_lane_utilization", fmt.Sprintf("lane=%q", l.Lane), l.Utilization)
+	}
+	p.header("mwmerge_lane_busy_seconds_total", "counter", "Busy wall-clock time per span lane.")
+	for _, l := range rep.Lanes {
+		p.metric("mwmerge_lane_busy_seconds_total", fmt.Sprintf("lane=%q", l.Lane), float64(l.BusyNS)/1e9)
+	}
+	return p.err
+}

@@ -1,6 +1,8 @@
 // Package trace renders cycle timelines of the simulated accelerator as
 // text Gantt charts, making the TS-vs-ITS schedules of Fig. 15 visible:
-// which phase occupies which cycles, and what the overlap hides.
+// which phase occupies which cycles, and what the overlap hides. A
+// Timeline is safe for concurrent use: step-1 worker goroutines and the
+// PRaP merge cores emit spans into one shared timeline.
 package trace
 
 import (
@@ -8,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Span is one named interval on a timeline lane, in cycles.
@@ -18,8 +21,10 @@ type Span struct {
 	End   uint64
 }
 
-// Timeline is a set of spans across lanes.
+// Timeline is a set of spans across lanes. The zero value is ready to
+// use; all methods are safe for concurrent use.
 type Timeline struct {
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -31,15 +36,27 @@ func (t *Timeline) Add(lane, name string, start, end uint64) error {
 	if end == start {
 		return nil
 	}
+	t.mu.Lock()
 	t.spans = append(t.spans, Span{Lane: lane, Name: name, Start: start, End: end})
+	t.mu.Unlock()
 	return nil
 }
 
 // Spans returns a copy of the recorded spans.
-func (t *Timeline) Spans() []Span { return append([]Span(nil), t.spans...) }
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
 
 // Makespan returns the last end cycle.
 func (t *Timeline) Makespan() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.makespan()
+}
+
+func (t *Timeline) makespan() uint64 {
 	var m uint64
 	for _, s := range t.spans {
 		if s.End > m {
@@ -51,6 +68,12 @@ func (t *Timeline) Makespan() uint64 {
 
 // Lanes returns the lane names in first-appearance order.
 func (t *Timeline) Lanes() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lanes()
+}
+
+func (t *Timeline) lanes() []string {
 	seen := map[string]bool{}
 	var lanes []string
 	for _, s := range t.spans {
@@ -64,7 +87,13 @@ func (t *Timeline) Lanes() []string {
 
 // Utilization returns the busy fraction of a lane over the makespan.
 func (t *Timeline) Utilization(lane string) float64 {
-	total := t.Makespan()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.utilization(lane)
+}
+
+func (t *Timeline) utilization(lane string) float64 {
+	total := t.makespan()
 	if total == 0 {
 		return 0
 	}
@@ -80,15 +109,17 @@ func (t *Timeline) Utilization(lane string) float64 {
 // Gantt renders the timeline as a fixed-width text chart, one row per
 // lane, marking each span with the first letter of its name.
 func (t *Timeline) Gantt(w io.Writer, width int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if width < 10 {
 		width = 10
 	}
-	total := t.Makespan()
+	total := t.makespan()
 	if total == 0 {
 		_, err := fmt.Fprintln(w, "(empty timeline)")
 		return err
 	}
-	lanes := t.Lanes()
+	lanes := t.lanes()
 	nameW := 0
 	for _, l := range lanes {
 		if len(l) > nameW {
@@ -125,7 +156,7 @@ func (t *Timeline) Gantt(w io.Writer, width int) error {
 				row[i] = mark
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%-*s |%s| %.0f%%\n", nameW, lane, row, 100*t.Utilization(lane)); err != nil {
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %.0f%%\n", nameW, lane, row, 100*t.utilization(lane)); err != nil {
 			return err
 		}
 	}

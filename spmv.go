@@ -37,6 +37,7 @@ import (
 	"mwmerge/internal/mem"
 	"mwmerge/internal/perfmodel"
 	"mwmerge/internal/prap"
+	"mwmerge/internal/report"
 	"mwmerge/internal/solver"
 	"mwmerge/internal/spgemm"
 	"mwmerge/internal/vector"
@@ -68,6 +69,22 @@ type (
 	// PRaPConfig parameterizes the step-2 merge network.
 	PRaPConfig = prap.Config
 )
+
+// Observability types (see DESIGN.md §8). Attach a RunRecorder via
+// EngineConfig.Recorder to collect wall-clock span lanes and per-iteration
+// ledger counters, then Build a RunReport and render it as JSON,
+// Prometheus text exposition, or an ASCII Gantt chart.
+type (
+	// RunRecorder collects spans and counter snapshots during a run.
+	RunRecorder = report.Recorder
+	// RunReport is the assembled observability surface of one run.
+	RunReport = report.Report
+	// ReportMeta labels a RunReport with its workload and knobs.
+	ReportMeta = report.Meta
+)
+
+// NewRunRecorder starts a run recorder; its wall clock begins now.
+func NewRunRecorder() *RunRecorder { return report.NewRecorder() }
 
 // Model types.
 type (

@@ -153,3 +153,51 @@ func TestFacadeIterateOverlap(t *testing.T) {
 		t.Error("ITS saved no transition traffic")
 	}
 }
+
+// TestFacadeRunRecorder drives the observability surface through the
+// facade alone: attach a RunRecorder, run, build a RunReport, render all
+// three formats.
+func TestFacadeRunRecorder(t *testing.T) {
+	a, err := ErdosRenyi(20_000, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRunRecorder()
+	cfg := DefaultEngineConfig()
+	cfg.Recorder = rec
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewDense(int(a.Cols))
+	x.Fill(1)
+	if _, err := eng.SpMV(a, x, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := rec.Build(ReportMeta{Workload: "facade-test", Rows: a.Rows, Cols: a.Cols})
+	if got := rep.TotalCounters().Traffic; got != eng.Traffic() {
+		t.Errorf("report traffic %+v != ledger %+v", got, eng.Traffic())
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"workload": "facade-test"`) {
+		t.Errorf("JSON report:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := rep.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mwmerge_traffic_bytes_total") {
+		t.Errorf("prometheus report:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := rec.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "phase") {
+		t.Errorf("gantt report:\n%s", buf.String())
+	}
+}
