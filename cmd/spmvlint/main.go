@@ -1,8 +1,8 @@
 // Command spmvlint runs the project's static-analysis suite over the
-// whole module: six analyzers enforcing the determinism, stats-alias,
-// sentinel, traffic-ledger, goroutine-capture, and package-doc
-// invariants the reproduction's correctness story depends on (see
-// DESIGN.md §7).
+// whole module: seven analyzers enforcing the determinism, stats-alias,
+// sentinel, traffic-ledger, goroutine-capture, dense-write and
+// package-doc invariants the reproduction's correctness story depends
+// on (see DESIGN.md §7).
 //
 // Usage:
 //

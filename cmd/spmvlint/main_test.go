@@ -6,7 +6,7 @@ import (
 )
 
 // TestSelfLintClean is the `make lint` contract: the suite runs all
-// five analyzers over the whole module and must come back clean.
+// seven analyzers over the whole module and must come back clean.
 func TestSelfLintClean(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-C", "../.."}, &out, &errOut); code != 0 {
@@ -22,7 +22,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "statsalias", "sentinel", "ledgerdiscipline", "goroutinecapture"} {
+	for _, name := range []string{"determinism", "statsalias", "sentinel", "ledgerdiscipline", "goroutinecapture", "densewrite"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

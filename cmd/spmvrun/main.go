@@ -55,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		vldiBits   = fs.Int("vldi", 0, "VLDI block bits (0 = no compression)")
 		hdnThresh  = fs.Uint64("hdn", 0, "HDN degree threshold (0 = disabled)")
 		iters      = fs.Int("iters", 1, "SpMV iterations")
-		overlap    = fs.Bool("overlap", false, "iteration-overlapped Two-Step (ITS)")
+		overlap    = fs.Bool("overlap", false, "iteration-overlapped Two-Step (ITS): pipeline each step 2 with the next iteration's step 1 over a bounded segment handoff (halved capacity, bit-identical result)")
 		damping    = fs.Float64("damping", 0, "PageRank damping applied after each iteration (0 = plain)")
 		workers    = fs.Int("workers", 1, "step-1 worker goroutines (host-side parallelism)")
 		mergeWork  = fs.Int("merge-workers", 0, "step-2 merge goroutines (0 = GOMAXPROCS, 1 = sequential)")

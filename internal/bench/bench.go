@@ -66,6 +66,7 @@ func Registry() []Experiment {
 		{ID: "ablation-prap", Title: "Ablation §4.2: PRaP scaling vs radix width", Run: RunAblationPRaP},
 		{ID: "ablation-hdn", Title: "Ablation §5.3: Bloom HDN detection on power-law graphs", Run: RunAblationHDN},
 		{ID: "ablation-its", Title: "Ablation §5.2: cycle-simulated ITS overlap vs sequential schedule", Run: RunAblationITS},
+		{ID: "its-pipeline", Title: "Fig 15: measured ITS pipelining, sequential vs overlapped wall-clock", Run: RunITSPipeline},
 		{ID: "ablation-vldi", Title: "Ablation §5.1: measured VLDI block-width sweep on a real graph", Run: RunAblationVLDIMeasured},
 		{ID: "mc-scaling", Title: "§2.2/§4.2: merge cores needed to saturate HBM generations", Run: RunMCScaling},
 		{ID: "onchip-sweep", Title: "§6 scaling: vector buffer vs max dimension; FIFO SRAM packing", Run: RunOnChipSweep},

@@ -26,12 +26,10 @@ type Engine struct {
 	// the cumulative counter state at the previous iteration boundary
 	// (snapshots record deltas); iterating suppresses the per-SpMV
 	// snapshot inside Iterate/PageRank, which record per-iteration
-	// boundaries themselves; lastS1End marks where step 1 of the latest
-	// SpMV finished on the recorder clock (the ITS overlap window edge).
+	// boundaries themselves.
 	rec       *report.Recorder
 	lastSnap  report.Counters
 	iterating bool
-	lastS1End uint64
 }
 
 // RunStats aggregates execution statistics across calls: every field
@@ -142,17 +140,11 @@ func (e *Engine) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) 
 			a.Rows, e.cfg.MaxDimension(), e.cfg.Merge.Ways, e.cfg.SegmentWidth())
 	}
 
-	var det *hdn.Detector
-	if e.cfg.HDN != nil {
-		d, err := hdn.Build(a, *e.cfg.HDN)
-		if err != nil {
-			return nil, err
-		}
-		det = d
-		e.stats.HDNFilterBytes += d.SizeBytes()
-		// Building the filter streams the meta-data once (§5.3).
-		e.charge(mem.Traffic{MatrixBytes: uint64(a.NNZ()) * uint64(e.cfg.MetaBytes)})
+	det, err := e.buildDetector(a)
+	if err != nil {
+		return nil, err
 	}
+	e.chargeDetector(a, det)
 
 	lists, err := e.runStep1(a, x, det)
 	if err != nil {
@@ -180,21 +172,73 @@ type stripeOutcome struct {
 	err                error
 }
 
+// buildDetector constructs the HDN Bloom filter when one is configured
+// (nil otherwise). The build is deterministic in (a, cfg), so iterative
+// runs build once and reuse the detector across iterations.
+func (e *Engine) buildDetector(a *matrix.COO) (*hdn.Detector, error) {
+	if e.cfg.HDN == nil {
+		return nil, nil
+	}
+	return hdn.Build(a, *e.cfg.HDN)
+}
+
+// chargeDetector books one filter construction: the filter footprint
+// statistic plus the one-pass meta-data stream that populates it
+// (§5.3). Iterative runs call it once per iteration so the ledger
+// matches an equivalent sequence of standalone SpMV calls exactly.
+func (e *Engine) chargeDetector(a *matrix.COO, det *hdn.Detector) {
+	if det == nil {
+		return
+	}
+	e.stats.HDNFilterBytes += det.SizeBytes()
+	e.charge(mem.Traffic{MatrixBytes: uint64(a.NNZ()) * uint64(e.cfg.MetaBytes)})
+}
+
 // runStep1 partitions A, executes the per-stripe partial SpMV (optionally
 // across Workers goroutines) and merges the accounting. It returns the
 // sorted intermediate record lists.
 func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][]types.Record, error) {
-	width := e.cfg.SegmentWidth()
-	stripes, err := matrix.Partition1D(a, width)
+	stripes, err := e.planStripes(a)
+	if err != nil {
+		return nil, err
+	}
+	return e.commitStep1(stripes, e.step1Compute(stripes, x, det, nil))
+}
+
+// planStripes partitions A into engine-width column stripes and checks
+// the merge-way bound.
+func (e *Engine) planStripes(a *matrix.COO) ([]*matrix.Stripe, error) {
+	stripes, err := matrix.Partition1D(a, e.cfg.SegmentWidth())
 	if err != nil {
 		return nil, err
 	}
 	if len(stripes) > e.cfg.Merge.Ways {
 		return nil, fmt.Errorf("core: %d stripes exceed %d merge ways", len(stripes), e.cfg.Merge.Ways)
 	}
-	e.stats.Stripes += len(stripes)
+	return stripes, nil
+}
 
+// step1Compute executes the per-stripe partial SpMV across Workers
+// goroutines without touching persistent engine state (recorder spans
+// aside), which is what lets the ITS pipeline run it concurrently with
+// the previous iteration's step 2. With a non-nil gate, stripe k first
+// waits until segment k of x has been published and releases its
+// handoff slot when done — successful or not, so a failed stripe can
+// never starve the producer.
+func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn.Detector, gate *segmentGate) []stripeOutcome {
 	outcomes := make([]stripeOutcome, len(stripes))
+	run := func(w, k int) {
+		if gate != nil {
+			if err := gate.wait(k); err != nil {
+				outcomes[k] = stripeOutcome{err: err}
+				gate.consume()
+				return
+			}
+			defer gate.consume()
+		}
+		outcomes[k] = e.stripeTask(w, k, stripes[k], x, det)
+	}
+
 	workers := e.cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -207,8 +251,8 @@ func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][
 		s1 = e.rec.StartSpan("phase", "s1")
 	}
 	if workers <= 1 {
-		for k, s := range stripes {
-			outcomes[k] = e.stripeTask(0, k, s, x, det)
+		for k := range stripes {
+			run(0, k)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -218,10 +262,14 @@ func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][
 			go func(w int) {
 				defer wg.Done()
 				for k := range work {
-					outcomes[k] = e.stripeTask(w, k, stripes[k], x, det)
+					run(w, k)
 				}
 			}(w)
 		}
+		// Ascending dispatch order is load-bearing under a gate: it
+		// guarantees that whenever the producer is blocked on the
+		// handoff bound, the lowest published-but-unconsumed stripe is
+		// already held by some worker, so the pipeline always advances.
 		for k := range stripes {
 			work <- k
 		}
@@ -230,10 +278,16 @@ func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][
 	}
 	if e.rec != nil {
 		s1.End()
-		e.lastS1End = e.rec.Now()
 	}
+	return outcomes
+}
 
-	lists := make([][]types.Record, len(stripes))
+// commitStep1 folds side-effect-free stripe outcomes into the
+// persistent ledger and statistics, in stripe order, and returns the
+// sorted intermediate record lists.
+func (e *Engine) commitStep1(stripes []*matrix.Stripe, outcomes []stripeOutcome) ([][]types.Record, error) {
+	e.stats.Stripes += len(stripes)
+	lists := make([][]types.Record, len(outcomes))
 	for k, out := range outcomes {
 		if out.err != nil {
 			return nil, out.err
@@ -319,6 +373,19 @@ func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detect
 // runStep2 merges the intermediate lists through the PRaP network and
 // accounts the intermediate-read and result traffic.
 func (e *Engine) runStep2(lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, error) {
+	y := vector.NewDense(int(dim))
+	if err := e.runStep2Into(lists, dim, yIn, y, 0, nil); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// runStep2Into is runStep2 draining into the caller-provided y, with
+// the accounting unchanged. A positive segWidth plus a non-nil publish
+// forwards the PRaP store queue's segment-completion stream (ascending,
+// exactly once per segment) to the caller — the producer side of the
+// ITS pipeline's bounded segment handoff.
+func (e *Engine) runStep2Into(lists [][]types.Record, dim uint64, yIn, y vector.Dense, segWidth uint64, publish func(seg int)) error {
 	if e.rec != nil {
 		defer e.rec.StartSpan("phase", "s2").End()
 	}
@@ -328,9 +395,9 @@ func (e *Engine) runStep2(lists [][]types.Record, dim uint64, yIn vector.Dense) 
 		e.stats.CompressedVecBytes += comp
 		e.stats.UncompressedVecBytes += uncomp
 	}
-	y, st, err := e.network.Merge(lists, dim, yIn)
+	st, err := e.network.MergeInto(lists, dim, yIn, y, segWidth, publish)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	e.stats.MergeStats.Accumulate(st)
 	yBytes := dim * uint64(e.cfg.ValueBytes)
@@ -338,7 +405,7 @@ func (e *Engine) runStep2(lists [][]types.Record, dim uint64, yIn vector.Dense) 
 	if yIn != nil {
 		e.charge(mem.Traffic{ResultBytes: yBytes}) // y-in streamed in
 	}
-	return y, nil
+	return nil
 }
 
 // compressedStripeMeta VLDI-encodes the stripe meta-data: the column-index

@@ -14,10 +14,12 @@ type IterateOptions struct {
 	// Iterations is the number of SpMV applications.
 	Iterations int
 	// Overlap enables Iteration-overlapped Two-Step (ITS): step 2 of
-	// iteration i runs concurrently with step 1 of iteration i+1, the
+	// iteration i runs concurrently with step 1 of iteration i+1
+	// through a bounded segment handoff (see pipeline.go), the
 	// y_i = x_{i+1} DRAM round trip between iterations disappears, and
 	// the engine needs two source-vector segment buffers, halving the
-	// maximum dimension.
+	// maximum dimension. The result is bit-identical to the sequential
+	// schedule.
 	Overlap bool
 	// Damping, when non-zero, applies the PageRank update
 	// x' = Damping·A·x + (1-Damping)/N after each multiplication.
@@ -50,26 +52,42 @@ func (e *Engine) accountTransition(rows uint64, overlap bool) uint64 {
 }
 
 // recordIteration closes the observability record of one loop iteration:
-// an "iter" lane span covering it, an "its" overlap window for overlapped
-// iterations after the first (iteration start to this SpMV's step-1 end —
-// the window step 2 of the previous iteration drains in on hardware,
-// Fig. 15), and a counter-delta snapshot. No-op without a recorder.
-func (e *Engine) recordIteration(it int, start uint64, overlap bool) {
+// an "iter" lane span covering it and a counter-delta snapshot. Under
+// the ITS pipeline an iteration's span starts when its step 1 starts —
+// inside the previous iteration's span — so consecutive spans on the
+// lane genuinely overlap. No-op without a recorder.
+func (e *Engine) recordIteration(it int, start uint64) {
 	if e.rec == nil {
 		return
 	}
 	e.rec.AddSpan("iter", "i"+strconv.Itoa(it), start, e.rec.Now())
-	if overlap && it > 0 {
-		e.rec.AddSpan("its", "o"+strconv.Itoa(it), start, e.lastS1End)
-	}
 	e.snapshot("iter")
+}
+
+// checkIterativeCapacity enforces the iterative-run capacity bound: ITS
+// overlap keeps two source-segment buffers resident, halving the
+// maximum dimension (paper Table 2). Iterate and PageRank share this
+// check so their error messages cannot drift apart.
+func (e *Engine) checkIterativeCapacity(dim uint64, overlap bool) error {
+	capacity := e.cfg.MaxDimension()
+	qualifier := ""
+	if overlap {
+		capacity /= 2
+		qualifier = "ITS "
+	}
+	if dim > capacity {
+		return fmt.Errorf("core: dimension %d exceeds %scapacity %d", dim, qualifier, capacity)
+	}
+	return nil
 }
 
 // Iterate runs iterative SpMV. With Overlap set, the engine verifies the
 // halved-capacity constraint (two segments must fit in the scratchpad)
-// before running; functionally, overlap and non-overlap produce identical
-// vectors — the difference is the traffic ledger and the capacity bound,
-// exactly as in the paper's Table 2.
+// and then executes the software ITS pipeline: step 2 of each iteration
+// streams its result segments to step 1 of the next, which runs
+// concurrently. Overlap and non-overlap produce bit-identical vectors —
+// the differences are wall-clock, the traffic ledger and the capacity
+// bound, exactly as in the paper's Table 2.
 func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (IterateResult, error) {
 	var res IterateResult
 	if opt.Iterations < 1 {
@@ -78,19 +96,34 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 	if a.Rows != a.Cols {
 		return res, fmt.Errorf("core: iterative SpMV needs a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
-	capacity := e.cfg.MaxDimension()
-	if opt.Overlap {
-		capacity /= 2
+	if err := e.checkIterativeCapacity(a.Rows, opt.Overlap); err != nil {
+		return res, err
 	}
-	if a.Rows > capacity {
-		return res, fmt.Errorf("core: dimension %d exceeds %scapacity %d",
-			a.Rows, map[bool]string{true: "ITS ", false: ""}[opt.Overlap], capacity)
+
+	e.iterating = true
+	defer func() { e.iterating = false }()
+
+	damping := opt.Damping
+	base := (1 - damping) / float64(a.Rows)
+
+	if opt.Overlap {
+		var hooks pipelineHooks
+		if damping != 0 {
+			hooks.update = func(int, vector.Dense) func(vector.Dense) {
+				return func(seg vector.Dense) { dampSegment(seg, damping, base) }
+			}
+		}
+		x, iters, saved, err := e.iteratePipelined(a, x0, opt.Iterations, hooks)
+		if err != nil {
+			return res, err
+		}
+		res.X = x
+		res.Iterations = iters
+		res.TransitionBytesSaved = saved
+		return res, nil
 	}
 
 	x := x0.Clone()
-	n := float64(a.Rows)
-	e.iterating = true
-	defer func() { e.iterating = false }()
 	for it := 0; it < opt.Iterations; it++ {
 		var iterStart uint64
 		if e.rec != nil {
@@ -100,22 +133,15 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 		if err != nil {
 			return res, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
-		if opt.Damping != 0 {
-			y.Scale(opt.Damping)
-			base := (1 - opt.Damping) / n
-			for i := range y {
-				y[i] += base
-			}
+		if damping != 0 {
+			dampSegment(y, damping, base)
 		}
 		x = y
 
 		if it < opt.Iterations-1 {
-			saved := e.accountTransition(a.Rows, opt.Overlap)
-			if opt.Overlap {
-				res.TransitionBytesSaved += saved
-			}
+			e.accountTransition(a.Rows, false)
 		}
-		e.recordIteration(it, iterStart, opt.Overlap)
+		e.recordIteration(it, iterStart)
 	}
 	res.X = x
 	res.Iterations = opt.Iterations
@@ -125,16 +151,24 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 // PageRank runs damped power iteration until the L1 delta drops below tol
 // or maxIters is reached, returning the rank vector and iterations used.
 // It is the workload of the paper's iterative-SpMV optimization study.
-// Inter-iteration transitions are accounted exactly as in Iterate: the
-// non-overlap schedule charges the x re-read per transition, while ITS
-// overlap accumulates the same bytes into Stats().TransitionBytesSaved.
+// Dangling (all-zero) columns get the standard damped-PageRank
+// correction: their rank mass is redistributed uniformly each iteration,
+// so the returned vector always sums to 1. Inter-iteration transitions
+// are accounted exactly as in Iterate, and overlap runs the ITS pipeline
+// with the teleport update applied streaming per published segment —
+// bit-identical to the sequential schedule.
 func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, overlap bool) (vector.Dense, int, error) {
 	if a.Rows != a.Cols {
 		return nil, 0, fmt.Errorf("core: PageRank needs a square matrix")
 	}
+	// Capacity is checked before the O(nnz) normalization below: an
+	// over-capacity matrix must fail fast, not after a full clone.
+	if err := e.checkIterativeCapacity(a.Rows, overlap); err != nil {
+		return nil, 0, err
+	}
+
 	n := a.Rows
-	// Column-normalize A so columns sum to 1 (dangling columns get
-	// uniform teleport handled by damping).
+	// Column-normalize A so non-empty columns sum to 1.
 	colSum := make([]float64, n)
 	for _, ent := range a.Entries {
 		colSum[ent.Col] += ent.Val
@@ -145,18 +179,50 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 			norm.Entries[i].Val = ent.Val / colSum[ent.Col]
 		}
 	}
+	// Dangling columns (sinks) push no mass through A, so ‖A·x‖₁ < 1
+	// and rank mass would leak every iteration. Collect them once; each
+	// iteration redistributes their mass uniformly via the teleport
+	// base, keeping ‖x‖₁ = 1 exactly (up to rounding).
+	var dangling []uint64
+	for j, s := range colSum {
+		if s == 0 {
+			dangling = append(dangling, uint64(j))
+		}
+	}
+	// teleportBase evaluates iteration-dependent part of the update
+	// y = damping·A·x + base: teleport plus the dangling mass of the
+	// iteration's source vector, summed in index order on every
+	// schedule.
+	teleportBase := func(x vector.Dense) float64 {
+		mass := 0.0
+		for _, j := range dangling {
+			mass += x[j]
+		}
+		return (1-damping)/float64(n) + damping*mass/float64(n)
+	}
 
 	x := vector.NewDense(int(n))
 	x.Fill(1 / float64(n))
-	capacity := e.cfg.MaxDimension()
-	if overlap {
-		capacity /= 2
-	}
-	if a.Rows > capacity {
-		return nil, 0, fmt.Errorf("core: dimension %d exceeds capacity %d", a.Rows, capacity)
+	if maxIters < 1 {
+		return x, 0, nil
 	}
 	e.iterating = true
 	defer func() { e.iterating = false }()
+
+	if overlap {
+		hooks := pipelineHooks{
+			update: func(_ int, src vector.Dense) func(vector.Dense) {
+				base := teleportBase(src)
+				return func(seg vector.Dense) { dampSegment(seg, damping, base) }
+			},
+			converged: func(_ int, y, src vector.Dense) bool {
+				return l1Delta(y, src) < tol
+			},
+		}
+		ranks, iters, _, err := e.iteratePipelined(norm, x, maxIters, hooks)
+		return ranks, iters, err
+	}
+
 	for it := 1; it <= maxIters; it++ {
 		var iterStart uint64
 		if e.rec != nil {
@@ -166,29 +232,18 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 		if err != nil {
 			return nil, it, err
 		}
-		y.Scale(damping)
-		base := (1 - damping) / float64(n)
-		for i := range y {
-			y[i] += base
-		}
-		delta := 0.0
-		for i := range y {
-			d := y[i] - x[i]
-			if d < 0 {
-				d = -d
-			}
-			delta += d
-		}
+		dampSegment(y, damping, teleportBase(x))
+		delta := l1Delta(y, x)
 		x = y
 		if delta < tol {
-			e.recordIteration(it-1, iterStart, overlap)
+			e.recordIteration(it-1, iterStart)
 			return x, it, nil
 		}
 		if it < maxIters {
 			// Another SpMV follows: book the transition round trip.
-			e.accountTransition(a.Rows, overlap)
+			e.accountTransition(a.Rows, false)
 		}
-		e.recordIteration(it-1, iterStart, overlap)
+		e.recordIteration(it-1, iterStart)
 	}
 	return x, maxIters, nil
 }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/report"
+	"mwmerge/internal/vector"
+)
+
+// pipelineConfig returns the small engine with enough step-1 and merge
+// parallelism that the pipelined schedule genuinely interleaves.
+func pipelineConfig() Config {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.Merge.MergeWorkers = 2
+	return cfg
+}
+
+// TestPipelinedIterateBitIdentical is the -race hammer for the ITS
+// pipeline: across seeds, workloads and damping settings, Overlap must
+// produce byte-identical vectors to the sequential schedule. Run with
+// -race this also exercises the segment-gate synchronization under real
+// goroutine interleavings.
+func TestPipelinedIterateBitIdentical(t *testing.T) {
+	for _, seed := range []int64{101, 202, 303, 404} {
+		a, err := graph.Zipf(3000, 5, 1.8, seed)
+		if err != nil {
+			t.Fatalf("Zipf: %v", err)
+		}
+		x0 := randomX(a.Rows, seed+1)
+		for _, damping := range []float64{0, 0.85} {
+			seq, err := New(testConfig())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			ovl, err := New(pipelineConfig())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			opt := IterateOptions{Iterations: 5, Damping: damping}
+			rs, err := seq.Iterate(a, x0, opt)
+			if err != nil {
+				t.Fatalf("sequential Iterate: %v", err)
+			}
+			opt.Overlap = true
+			ro, err := ovl.Iterate(a, x0, opt)
+			if err != nil {
+				t.Fatalf("pipelined Iterate: %v", err)
+			}
+			if d := rs.X.MaxAbsDiff(ro.X); d != 0 {
+				t.Errorf("seed %d damping %g: pipelined diverged by %g", seed, damping, d)
+			}
+			if ro.TransitionBytesSaved != uint64(opt.Iterations-1)*a.Rows*8 {
+				t.Errorf("seed %d: saved %d bytes, want %d",
+					seed, ro.TransitionBytesSaved, uint64(opt.Iterations-1)*a.Rows*8)
+			}
+		}
+	}
+}
+
+// TestPipelinedPageRankBitIdentical hammers the PageRank flavor of the
+// pipeline — streaming teleport update plus early convergence — against
+// the sequential loop.
+func TestPipelinedPageRankBitIdentical(t *testing.T) {
+	for _, seed := range []int64{7, 19, 31} {
+		a, err := graph.Zipf(2000, 6, 1.9, seed)
+		if err != nil {
+			t.Fatalf("Zipf: %v", err)
+		}
+		seq, err := New(testConfig())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		ovl, err := New(pipelineConfig())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rSeq, itSeq, err := seq.PageRank(a, 0.85, 1e-8, 100, false)
+		if err != nil {
+			t.Fatalf("sequential PageRank: %v", err)
+		}
+		rOvl, itOvl, err := ovl.PageRank(a, 0.85, 1e-8, 100, true)
+		if err != nil {
+			t.Fatalf("pipelined PageRank: %v", err)
+		}
+		if itSeq != itOvl {
+			t.Errorf("seed %d: iterations %d (seq) != %d (pipelined)", seed, itSeq, itOvl)
+		}
+		if d := rSeq.MaxAbsDiff(rOvl); d != 0 {
+			t.Errorf("seed %d: pipelined PageRank diverged by %g", seed, d)
+		}
+	}
+}
+
+// TestPageRankDanglingMassConserved is the sink-graph regression: a
+// chain whose last node has no outgoing edges leaks rank mass unless
+// the dangling correction redistributes it, so ‖x‖₁ must stay ≈ 1 on
+// both schedules.
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	const n = 600
+	entries := make([]matrix.Entry, 0, n-1)
+	for i := uint64(0); i+1 < n; i++ {
+		entries = append(entries, matrix.Entry{Row: i + 1, Col: i, Val: 1})
+	}
+	a, err := matrix.NewCOO(n, n, entries)
+	if err != nil {
+		t.Fatalf("NewCOO: %v", err)
+	}
+	var ranks [2]vector.Dense
+	for i, overlap := range []bool{false, true} {
+		cfg := testConfig()
+		if overlap {
+			cfg = pipelineConfig()
+		}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		r, iters, err := eng.PageRank(a, 0.85, 1e-10, 200, overlap)
+		if err != nil {
+			t.Fatalf("PageRank(overlap=%v): %v", overlap, err)
+		}
+		if iters >= 200 {
+			t.Errorf("overlap=%v: did not converge in %d iterations", overlap, iters)
+		}
+		if s := r.Norm1(); math.Abs(s-1) > 1e-9 {
+			t.Errorf("overlap=%v: rank mass %g leaked from the sink, want ≈ 1", overlap, s)
+		}
+		ranks[i] = r
+	}
+	if d := ranks[0].MaxAbsDiff(ranks[1]); d != 0 {
+		t.Errorf("sink-graph PageRank: pipelined diverged by %g", d)
+	}
+}
+
+// TestItsLaneMeasuresOverlap asserts the "its" lane records genuinely
+// measured overlap windows: one span per committed transition (N-1 for
+// N iterations) and a nonzero total width.
+func TestItsLaneMeasuresOverlap(t *testing.T) {
+	rec := report.NewRecorder()
+	cfg := pipelineConfig()
+	cfg.Recorder = rec
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, err := graph.ErdosRenyi(3000, 6, 51)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if _, err := eng.Iterate(a, randomX(a.Rows, 52), IterateOptions{Iterations: 4, Overlap: true}); err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	rep := rec.Build(report.Meta{})
+	found := false
+	for _, l := range rep.Lanes {
+		if l.Lane != "its" {
+			continue
+		}
+		found = true
+		if l.Spans != 3 {
+			t.Errorf("its lane has %d spans, want 3 (one per committed transition)", l.Spans)
+		}
+		if l.BusyNS == 0 {
+			t.Error("its lane measured zero overlap width")
+		}
+	}
+	if !found {
+		t.Fatal("no its lane in the report")
+	}
+}
+
+// TestSegmentGateBound verifies the producer stalls at the two-segment
+// handoff bound and resumes when the consumer frees a slot.
+func TestSegmentGateBound(t *testing.T) {
+	g := newSegmentGate(2)
+	g.publish()
+	g.publish()
+	done := make(chan struct{})
+	go func() {
+		g.publish()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("third publish did not block at the two-segment bound")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.consume()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("publish still blocked after a consume")
+	}
+	if err := g.wait(2); err != nil {
+		t.Fatalf("wait(2): %v", err)
+	}
+}
+
+// TestSegmentGateFail verifies fail wakes blocked waiters with the
+// pipeline error and un-blocks publishes.
+func TestSegmentGateFail(t *testing.T) {
+	g := newSegmentGate(1)
+	boom := errors.New("boom")
+	errc := make(chan error, 1)
+	go func() { errc <- g.wait(0) }()
+	g.fail(boom)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, boom) {
+			t.Fatalf("wait returned %v, want boom", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("wait still blocked after fail")
+	}
+	g.publish() // must not block once the gate has failed
+	g.publish()
+}
+
+func benchmarkIterate(b *testing.B, overlap bool) {
+	a, err := graph.Zipf(4000, 8, 1.9, 7)
+	if err != nil {
+		b.Fatalf("Zipf: %v", err)
+	}
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.Merge.MergeWorkers = 4
+	eng, err := New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	x0 := randomX(a.Rows, 8)
+	opt := IterateOptions{Iterations: 8, Overlap: overlap, Damping: 0.85}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Iterate(a, x0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterateSequential / BenchmarkIteratePipelined compare the
+// wall-clock of the two schedules on a power-law workload; the pipeline
+// should win by overlapping step 2 with the next step 1.
+func BenchmarkIterateSequential(b *testing.B) { benchmarkIterate(b, false) }
+func BenchmarkIteratePipelined(b *testing.B)  { benchmarkIterate(b, true) }

@@ -2,7 +2,8 @@
 // It enforces the invariants the reproduction's correctness story rests
 // on — bit-identical (deterministic) numeric results, an exact off-chip
 // traffic ledger, alias-free statistics snapshots, a quarantined padding
-// sentinel, and race-free parallel merge paths — as compile-time checks
+// sentinel, race-free parallel merge paths, and a single blessed writer
+// of the shared dense result vector — as compile-time checks
 // over the whole module, using only the standard library's go/ast and
 // go/types machinery (no external analysis framework).
 //
@@ -61,6 +62,15 @@ type Config struct {
 	// DocPackages are import-path prefixes under which every package
 	// must carry a canonical package doc comment (the pkgdoc analyzer).
 	DocPackages []string
+	// DenseTypePackage and DenseTypeName identify the shared dense
+	// result vector type whose concurrent writes the densewrite analyzer
+	// polices. An empty DenseTypePackage disables the analyzer.
+	DenseTypePackage string
+	DenseTypeName    string
+	// BlessedDenseWriters maps an import path to the functions whose
+	// literals may write shared dense vectors — the store-queue drain
+	// behind the ITS segment-publish protocol.
+	BlessedDenseWriters map[string][]string
 }
 
 // DefaultConfig returns the repository's invariant surface.
@@ -83,8 +93,13 @@ func DefaultConfig() Config {
 		BlessedLedgerFuncs: map[string][]string{
 			"mwmerge/internal/core": {"charge", "accountTransition"},
 		},
-		SentinelConsts: []string{"invalidKey", "invalid"},
-		DocPackages:    []string{"mwmerge/internal"},
+		SentinelConsts:   []string{"invalidKey", "invalid"},
+		DocPackages:      []string{"mwmerge/internal"},
+		DenseTypePackage: "mwmerge/internal/vector",
+		DenseTypeName:    "Dense",
+		BlessedDenseWriters: map[string][]string{
+			"mwmerge/internal/prap": {"mergeInto"},
+		},
 	}
 }
 
@@ -122,6 +137,7 @@ func All() []*Analyzer {
 		SentinelAnalyzer,
 		LedgerAnalyzer,
 		GoroutineAnalyzer,
+		DenseWriteAnalyzer,
 		PkgDocAnalyzer,
 	}
 }

@@ -38,7 +38,7 @@ func loadCorpus(t *testing.T, ld *Loader, root, rel string) *Package {
 
 // TestAnalyzers drives every analyzer over its seeded positive corpus
 // (each violation must be caught, in order) and its negative corpus
-// (the suite must stay silent). All six analyzers run on every corpus,
+// (the suite must stay silent). All seven analyzers run on every corpus,
 // so the test also proves no analyzer misfires on another's code.
 func TestAnalyzers(t *testing.T) {
 	root := moduleRoot(t)
@@ -120,6 +120,31 @@ func TestAnalyzers(t *testing.T) {
 		{
 			corpus: "goroutine/neg",
 			config: func(p string) Config { return Config{ParallelPackages: []string{p}} },
+		},
+		{
+			corpus: "densewrite/pos",
+			config: func(p string) Config {
+				return Config{
+					ParallelPackages: []string{p},
+					DenseTypePackage: "mwmerge/internal/vector",
+					DenseTypeName:    "Dense",
+				}
+			},
+			want: []string{
+				"densewrite|shared dense vector out",
+				"densewrite|shared dense vector out",
+			},
+		},
+		{
+			corpus: "densewrite/neg",
+			config: func(p string) Config {
+				return Config{
+					ParallelPackages:    []string{p},
+					DenseTypePackage:    "mwmerge/internal/vector",
+					DenseTypeName:       "Dense",
+					BlessedDenseWriters: map[string][]string{p: {"BlessedDrain"}},
+				}
+			},
 		},
 		{
 			corpus: "pkgdoc/pos",

@@ -1,0 +1,69 @@
+// Package denseneg seeds sanctioned dense-vector use: literal-local
+// scratch, a blessed store-queue drain, and sequential writes outside
+// any literal.
+package denseneg
+
+import (
+	"sync"
+
+	"mwmerge/internal/vector"
+)
+
+// LocalScratch gives each goroutine its own dense scratch vector; the
+// element writes target literal-local state.
+func LocalScratch(n int) []vector.Dense {
+	res := make([]vector.Dense, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := vector.NewDense(4)
+			local[0] = float64(i)
+			res[i] = local
+		}(i)
+	}
+	wg.Wait()
+	return res
+}
+
+// BlessedDrain is the sanctioned store-queue path; the test config
+// blesses it by name.
+func BlessedDrain(out vector.Dense, parts [][]float64) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k, v := range parts[i] {
+				out[k] += v
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ParamScratch writes only through the literal's own dense parameter.
+func ParamScratch(segs []vector.Dense) {
+	var wg sync.WaitGroup
+	apply := func(seg vector.Dense) {
+		for i := range seg {
+			seg[i] *= 0.5
+		}
+	}
+	for _, s := range segs {
+		wg.Add(1)
+		go func(s vector.Dense) {
+			defer wg.Done()
+			apply(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Sequential writes outside any function literal are always allowed.
+func Sequential(out vector.Dense, vals []float64) {
+	for i, v := range vals {
+		out[i] += v
+	}
+}

@@ -1,0 +1,47 @@
+// Package densepos seeds dense-write violations: function literals in a
+// parallel package accumulating straight into a shared dense result
+// vector instead of routing through the blessed store-queue drain.
+package densepos
+
+import (
+	"sync"
+
+	"mwmerge/internal/vector"
+)
+
+// Drain fans worker goroutines out over parts and writes the shared
+// dense result directly from each closure.
+func Drain(out vector.Dense, parts [][]float64) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k, v := range parts[i] {
+				out[k] += v
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// forEach is a worker-pool shim mirroring the repo's parallel drivers.
+func forEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// DrainIndirect hides the shared write inside a callback literal handed
+// to a worker pool; the writer is still a literal touching shared state.
+func DrainIndirect(out vector.Dense, vals []float64) {
+	forEach(len(vals), func(i int) {
+		out[i] = vals[i]
+	})
+}

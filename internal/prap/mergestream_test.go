@@ -1,0 +1,111 @@
+package prap
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"mwmerge/internal/vector"
+)
+
+// TestMergeIntoSegmentStream checks the segment-publishing contract the
+// ITS pipeline depends on: publish(s) fires exactly once per segment, in
+// strictly ascending order, only after every element of the segment is
+// final — at any MergeWorkers setting, with and without a y input.
+func TestMergeIntoSegmentStream(t *testing.T) {
+	const (
+		dim      = 1000
+		segWidth = 128
+	)
+	rng := rand.New(rand.NewSource(7))
+	lists := randomLists(rng, 6, dim, 0.2)
+	yIn := vector.NewDense(dim)
+	for i := range yIn {
+		yIn[i] = rng.NormFloat64()
+	}
+
+	for _, workers := range []int{1, 0, 4} {
+		for _, withY := range []bool{false, true} {
+			cfg := smallConfig(2, 64)
+			cfg.MergeWorkers = workers
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			var base vector.Dense
+			if withY {
+				base = yIn
+			}
+			want, wantStats, err := n.Merge(lists, dim, base)
+			if err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+
+			out := vector.NewDense(dim)
+			var mu sync.Mutex
+			var pubs []int
+			publish := func(seg int) {
+				mu.Lock()
+				defer mu.Unlock()
+				pubs = append(pubs, seg)
+				// The contract: a published segment is final. Compare it
+				// against the oracle merge while higher keys are still
+				// draining.
+				lo := seg * segWidth
+				hi := lo + segWidth
+				if hi > dim {
+					hi = dim
+				}
+				for i := lo; i < hi; i++ {
+					if out[i] != want[i] {
+						t.Errorf("workers=%d withY=%v: out[%d] = %g at publish(%d), want %g",
+							workers, withY, i, out[i], seg, want[i])
+						return
+					}
+				}
+			}
+			st, err := n.MergeInto(lists, dim, base, out, segWidth, publish)
+			if err != nil {
+				t.Fatalf("MergeInto: %v", err)
+			}
+
+			segs := (dim + segWidth - 1) / segWidth
+			if len(pubs) != segs {
+				t.Fatalf("workers=%d withY=%v: %d publishes, want %d", workers, withY, len(pubs), segs)
+			}
+			for i, s := range pubs {
+				if s != i {
+					t.Fatalf("workers=%d withY=%v: publish order %v not ascending", workers, withY, pubs)
+				}
+			}
+			if d := out.MaxAbsDiff(want); d != 0 {
+				t.Errorf("workers=%d withY=%v: MergeInto diverged from Merge by %g", workers, withY, d)
+			}
+			if st.Emitted != wantStats.Emitted || st.Injected != wantStats.Injected {
+				t.Errorf("workers=%d withY=%v: stats (%d emitted, %d injected) != Merge's (%d, %d)",
+					workers, withY, st.Emitted, st.Injected, wantStats.Emitted, wantStats.Injected)
+			}
+		}
+	}
+}
+
+// TestMergeIntoValidates covers the MergeInto-specific error paths: an
+// out vector of the wrong length and a publish callback without a
+// segment width.
+func TestMergeIntoValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lists := randomLists(rng, 3, 256, 0.2)
+	n, err := New(smallConfig(1, 16))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := n.MergeInto(lists, 256, nil, vector.NewDense(200), 64, nil); err == nil ||
+		!strings.Contains(err.Error(), "out dimension") {
+		t.Errorf("short out vector: err = %v, want out-dimension error", err)
+	}
+	if _, err := n.MergeInto(lists, 256, nil, vector.NewDense(256), 0, func(int) {}); err == nil ||
+		!strings.Contains(err.Error(), "segment width") {
+		t.Errorf("publish without width: err = %v, want segment-width error", err)
+	}
+}

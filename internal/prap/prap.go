@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mwmerge/internal/bitonic"
 	"mwmerge/internal/mem"
@@ -309,21 +310,77 @@ func (n *Network) routeLists(lists [][]types.Record, st *Stats) ([][][]types.Rec
 // cores run concurrently; the output is bit-identical to the sequential
 // path at any worker count.
 func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, Stats, error) {
+	st := n.newStats()
+	if err := n.validateMerge(lists, dim, yIn); err != nil {
+		return nil, st, err
+	}
+	out := vector.NewDense(int(dim))
+	if err := n.mergeInto(lists, dim, yIn, out, &st, nil); err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// MergeInto merges exactly as Merge but into the caller-provided dense
+// vector out (overwritten; its length must equal dim) and optionally
+// streams segment completions: with a non-nil publish and a positive
+// segWidth, the store queue invokes publish(s) exactly once per
+// segWidth-wide key segment, in strictly ascending segment order, as
+// soon as every merge core has drained past it. A published segment's
+// elements are final — all writes to out[s*segWidth : (s+1)*segWidth]
+// happen before publish(s) is entered. This is the hook the ITS
+// pipeline (core) uses to hand finished x-segments of iteration i+1's
+// source vector to its step 1 while this step 2 is still draining
+// higher keys. publish may block (a bounded handoff); blocking only
+// stalls the drain, never reorders it, so results stay bit-identical at
+// any MergeWorkers setting.
+func (n *Network) MergeInto(lists [][]types.Record, dim uint64, yIn, out vector.Dense, segWidth uint64, publish func(seg int)) (Stats, error) {
+	st := n.newStats()
+	if err := n.validateMerge(lists, dim, yIn); err != nil {
+		return st, err
+	}
+	if uint64(len(out)) != dim {
+		return st, fmt.Errorf("prap: out dimension %d != %d", len(out), dim)
+	}
+	var plan *segmentPlan
+	if publish != nil {
+		if segWidth == 0 {
+			return st, fmt.Errorf("prap: segment publishing needs a positive segment width")
+		}
+		plan = newSegmentPlan(dim, segWidth, n.cfg.Cores(), publish)
+	}
+	return st, n.mergeInto(lists, dim, yIn, out, &st, plan)
+}
+
+// newStats returns a Stats with per-core slices sized for this network.
+func (n *Network) newStats() Stats {
 	p := n.cfg.Cores()
-	st := Stats{PerCoreInput: make([]uint64, p), PerCoreOutput: make([]uint64, p)}
+	return Stats{PerCoreInput: make([]uint64, p), PerCoreOutput: make([]uint64, p)}
+}
+
+// validateMerge checks the shared merge preconditions.
+func (n *Network) validateMerge(lists [][]types.Record, dim uint64, yIn vector.Dense) error {
 	if len(lists) > n.cfg.Ways {
-		return nil, st, fmt.Errorf("prap: %d lists exceed %d ways", len(lists), n.cfg.Ways)
+		return fmt.Errorf("prap: %d lists exceed %d ways", len(lists), n.cfg.Ways)
 	}
 	if yIn != nil && uint64(len(yIn)) != dim {
-		return nil, st, fmt.Errorf("prap: yIn dimension %d != %d", len(yIn), dim)
+		return fmt.Errorf("prap: yIn dimension %d != %d", len(yIn), dim)
 	}
 	if dim == invalidKey {
-		return nil, st, fmt.Errorf("prap: dimension too large")
+		return fmt.Errorf("prap: dimension too large")
 	}
+	return nil
+}
 
-	slots, err := n.routeLists(lists, &st)
+// mergeInto routes the lists and drains the merge cores into out. This
+// is the one place goroutines write the shared dense result; spmvlint's
+// densewrite analyzer blesses it (and its exported callers) so new
+// parallel code cannot silently reassociate the per-element sums.
+func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.Dense, st *Stats, plan *segmentPlan) error {
+	p := n.cfg.Cores()
+	slots, err := n.routeLists(lists, st)
 	if err != nil {
-		return nil, st, err
+		return err
 	}
 
 	// Each MC merge-accumulates its residue class, then missing-key
@@ -332,9 +389,10 @@ func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (v
 	// No two cores touch the same output element and each element
 	// receives exactly one float64 add, so running the cores on
 	// MergeWorkers goroutines is bit-identical to the sequential drain.
-	out := vector.NewDense(int(dim))
 	if yIn != nil {
 		copy(out, yIn)
+	} else {
+		out.Fill(0)
 	}
 	injected := make([]uint64, p)
 	emitted := make([]uint64, p)
@@ -344,24 +402,76 @@ func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (v
 		dense, inj := InjectMissingKeys(merged, uint64(r), uint64(p), dim)
 		injected[r] = inj
 		st.PerCoreOutput[r] = uint64(len(dense))
+		done := 0
 		for c, rec := range dense {
 			key := uint64(c)*uint64(p) + uint64(r)
 			if rec.Key != key {
 				coreErr[r] = fmt.Errorf("prap: store queue expected key %d from MC %d, got %d", key, r, rec.Key)
 				return
 			}
+			if plan != nil {
+				plan.credit(&done, key)
+			}
 			out[key] += rec.Val
 			emitted[r]++
+		}
+		if plan != nil {
+			plan.creditRest(&done)
 		}
 	}))
 	for r := 0; r < p; r++ {
 		if coreErr[r] != nil {
-			return nil, st, coreErr[r]
+			return coreErr[r]
 		}
 		st.Injected += injected[r]
 		st.Emitted += emitted[r]
 	}
-	return out, st, nil
+	return nil
+}
+
+// segmentPlan is the segment-granular store queue: a per-segment
+// countdown, initialized to the core count, that each merge core
+// decrements once when its drain passes the segment's upper key
+// boundary. The core that takes a countdown to zero fires publish.
+// Because every core drains its residue class in ascending key order,
+// countdowns complete in ascending segment order, and the fetch-add
+// chain gives publish(s) a happens-before edge from every write any
+// core made into segment s. A core that aborts mid-drain simply never
+// credits its remaining segments, so their publishes never fire —
+// callers surface the drain error instead.
+type segmentPlan struct {
+	width   uint64
+	segs    int
+	pending []int32 // cores yet to drain past each segment
+	publish func(seg int)
+}
+
+func newSegmentPlan(dim, width uint64, cores int, publish func(int)) *segmentPlan {
+	segs := int((dim + width - 1) / width)
+	pending := make([]int32, segs)
+	for i := range pending {
+		pending[i] = int32(cores)
+	}
+	return &segmentPlan{width: width, segs: segs, pending: pending, publish: publish}
+}
+
+// credit marks, for the calling core, every segment that lies entirely
+// below key as drained; *done tracks the core's crediting watermark so
+// each segment is credited exactly once per core.
+func (q *segmentPlan) credit(done *int, key uint64) {
+	for *done < q.segs && uint64(*done+1)*q.width <= key {
+		if atomic.AddInt32(&q.pending[*done], -1) == 0 {
+			q.publish(*done)
+		}
+		*done++
+	}
+}
+
+// creditRest credits every segment the core has not credited yet — the
+// end-of-stream flush covering segments with no keys in the core's
+// residue class (and the final, partially filled segment).
+func (q *segmentPlan) creditRest(done *int) {
+	q.credit(done, uint64(q.segs)*q.width)
 }
 
 // InjectMissingKeys densifies an ascending record stream over the residue

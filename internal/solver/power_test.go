@@ -1,0 +1,74 @@
+package solver
+
+import (
+	"errors"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/vector"
+)
+
+// failingMultiplier delegates to an inner Multiplier for the first
+// `after` calls, then fails every subsequent multiply.
+type failingMultiplier struct {
+	inner Multiplier
+	after int
+	calls int
+}
+
+var errInjected = errors.New("injected SpMV failure")
+
+func (f *failingMultiplier) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) {
+	f.calls++
+	if f.calls > f.after {
+		return nil, errInjected
+	}
+	return f.inner.SpMV(a, x, yIn)
+}
+
+// TestPowerIterationErrorKeepsProgress pins the SpMV-failure contract:
+// the Result must still report the iterations already completed and the
+// iterate they produced, not a zero value.
+func TestPowerIterationErrorKeepsProgress(t *testing.T) {
+	a, err := graph.ErdosRenyi(200, 4, 9)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	m := &failingMultiplier{inner: engine(t), after: 3}
+	_, res, err := PowerIteration(m, a, 1e-12, 50)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if res.Iterations != 3 {
+		t.Errorf("Iterations = %d, want 3 (the completed multiplies)", res.Iterations)
+	}
+	if len(res.X) != 200 {
+		t.Errorf("len(X) = %d, want the last good iterate (200)", len(res.X))
+	}
+	if res.Converged {
+		t.Error("Converged set on the error path")
+	}
+}
+
+// TestPowerIterationNonConvergedResidual pins the non-converged return:
+// Residual carries the last eigenvalue delta instead of zero.
+func TestPowerIterationNonConvergedResidual(t *testing.T) {
+	a, err := graph.ErdosRenyi(300, 5, 11)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	_, res, err := PowerIteration(engine(t), a, 0, 3)
+	if err != nil {
+		t.Fatalf("PowerIteration: %v", err)
+	}
+	if res.Converged {
+		t.Fatal("converged with tol 0 in 3 iterations; fixture too easy")
+	}
+	if res.Iterations != 3 {
+		t.Errorf("Iterations = %d, want 3", res.Iterations)
+	}
+	if res.Residual <= 0 {
+		t.Errorf("Residual = %g, want the last eigenvalue delta (> 0)", res.Residual)
+	}
+}

@@ -29,7 +29,10 @@ type Result struct {
 }
 
 // PowerIteration finds the dominant eigenvalue/eigenvector pair of A by
-// repeated multiplication and normalization.
+// repeated multiplication and normalization. The Result is populated on
+// every exit path: an SpMV failure still reports the iterations already
+// completed (and the iterate they produced), and a non-converged run
+// carries the last eigenvalue delta as its Residual.
 func PowerIteration(m Multiplier, a *matrix.COO, tol float64, maxIters int) (float64, Result, error) {
 	if a.Rows != a.Cols {
 		return 0, Result{}, fmt.Errorf("solver: power iteration needs a square matrix")
@@ -37,11 +40,12 @@ func PowerIteration(m Multiplier, a *matrix.COO, tol float64, maxIters int) (flo
 	n := int(a.Rows)
 	x := vector.NewDense(n)
 	x.Fill(1 / math.Sqrt(float64(n)))
-	var lambda float64
+	var lambda, delta float64
 	for it := 1; it <= maxIters; it++ {
 		y, err := m.SpMV(a, x, nil)
 		if err != nil {
-			return 0, Result{}, fmt.Errorf("solver: iteration %d: %w", it, err)
+			return lambda, Result{X: x, Iterations: it - 1, Residual: delta},
+				fmt.Errorf("solver: iteration %d: %w", it, err)
 		}
 		norm := math.Sqrt(dot(y, y))
 		if norm == 0 {
@@ -49,13 +53,13 @@ func PowerIteration(m Multiplier, a *matrix.COO, tol float64, maxIters int) (flo
 		}
 		newLambda := dot(x, y) // Rayleigh quotient with unit x
 		y.Scale(1 / norm)
-		delta := math.Abs(newLambda - lambda)
+		delta = math.Abs(newLambda - lambda)
 		x, lambda = y, newLambda
 		if it > 1 && delta <= tol*math.Abs(lambda) {
 			return lambda, Result{X: x, Iterations: it, Residual: delta, Converged: true}, nil
 		}
 	}
-	return lambda, Result{X: x, Iterations: maxIters, Converged: false}, nil
+	return lambda, Result{X: x, Iterations: maxIters, Residual: delta, Converged: false}, nil
 }
 
 // Jacobi solves A·x = b by diagonal relaxation: x' = D⁻¹(b − R·x) with
