@@ -69,6 +69,7 @@ func BenchmarkStackScaling(b *testing.B)            { benchExperiment(b, "stack-
 func BenchmarkSkewModel(b *testing.B)               { benchExperiment(b, "skew-model") }
 func BenchmarkCapacityBeyond(b *testing.B)          { benchExperiment(b, "capacity-beyond") }
 func BenchmarkFunctionalCrossCheck(b *testing.B)    { benchExperiment(b, "functional") }
+func BenchmarkAllocSteady(b *testing.B)             { benchExperiment(b, "alloc-steady") }
 
 // BenchmarkSpMVEndToEnd measures the functional Two-Step datapath on a
 // 100K-node degree-3 graph (edges/op reported as a custom metric).
@@ -85,6 +86,7 @@ func BenchmarkSpMVEndToEnd(b *testing.B) {
 	for i := range x {
 		x[i] = float64(i%7) - 3
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.SpMV(a, x, nil); err != nil {
@@ -105,6 +107,7 @@ func BenchmarkSpMVReference(b *testing.B) {
 	for i := range x {
 		x[i] = float64(i%7) - 3
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ReferenceSpMV(a, x, nil); err != nil {
@@ -185,6 +188,7 @@ func benchPRaPMerge(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := n.Merge(lists, dim, nil); err != nil {
@@ -356,6 +360,7 @@ func BenchmarkSpMVWorkers(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.SpMV(a, x, nil); err != nil {

@@ -93,11 +93,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// clock and iteration list scoped to that experiment alone.
 			expOpt.Recorder = report.NewRecorder()
 		}
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		if err := e.Run(w, expOpt); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
 		if expOpt.Recorder != nil {
-			if err := writeReports(*reportDir, e.ID, expOpt.Recorder); err != nil {
+			alloc := allocDelta(msBefore, msAfter)
+			if err := writeReports(*reportDir, e.ID, expOpt.Recorder, alloc); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
 		}
@@ -142,11 +147,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
+// allocDelta reduces two MemStats snapshots to the report's host
+// allocation fields: malloc count and bytes allocated between them. The
+// counters are monotone, so the subtraction cannot underflow.
+type hostAlloc struct {
+	allocs, bytes uint64
+}
+
+func allocDelta(before, after runtime.MemStats) hostAlloc {
+	return hostAlloc{
+		allocs: after.Mallocs - before.Mallocs,
+		bytes:  after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
 // writeReports renders one experiment's recorder as <dir>/<id>.report.json
 // and <dir>/<id>.gantt.txt. Analytic-only experiments build no engines, so
-// their reports are legitimately empty.
-func writeReports(dir, id string, rec *report.Recorder) error {
-	rep := rec.Build(report.Meta{Workload: "spmvbench -exp " + id})
+// their reports are legitimately empty. The host allocation deltas
+// measured around the run land in the report's meta block.
+func writeReports(dir, id string, rec *report.Recorder, alloc hostAlloc) error {
+	rep := rec.Build(report.Meta{
+		Workload:       "spmvbench -exp " + id,
+		HostAllocs:     alloc.allocs,
+		HostAllocBytes: alloc.bytes,
+	})
 	jf, err := os.Create(filepath.Join(dir, id+".report.json"))
 	if err != nil {
 		return err

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/prap"
+)
+
+// AllocBudgetPerIteration is the documented steady-state allocation
+// ceiling per Iterate iteration on a warmed engine at
+// Workers=1/MergeWorkers=1 (DESIGN.md §9). The engine's scratch arenas
+// keep the measured value in single digits; the ceiling leaves headroom
+// for runtime noise while still catching any per-record or per-batch
+// allocation regression. CI's alloc-smoke job fails the build when the
+// measurement exceeds it.
+const AllocBudgetPerIteration = 16
+
+// RunAllocSteady measures the steady-state allocation rate of iterative
+// SpMV: one engine is warmed until every scratch arena has grown to its
+// working size, then further Iterate calls are measured with
+// testing.AllocsPerRun for both schedules. The experiment errors when
+// the per-iteration count exceeds AllocBudgetPerIteration, except under
+// the race detector, whose instrumentation inflates allocation counts —
+// there the table is still printed but the budget is not enforced.
+func RunAllocSteady(w io.Writer, opt Options) error {
+	const iters = 4
+	scale := opt.Scale
+	if scale > 1<<13 {
+		scale = 1 << 13
+	}
+	eng, err := core.New(core.Config{
+		ScratchpadBytes: 16 << 10,
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           8,
+		Workers:         1,
+		Merge:           prap.Config{Q: 3, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: 1},
+		HBM:             defaultHBM(),
+	})
+	if err != nil {
+		return err
+	}
+	a, err := graph.ErdosRenyi(scale, 6, opt.Seed)
+	if err != nil {
+		return err
+	}
+	x0 := randomDense(a.Cols, opt.Seed+1)
+
+	t := newTable("Schedule", "Allocs/call", "Allocs/iteration", "Budget/iteration")
+	var worst float64
+	for _, overlap := range []bool{false, true} {
+		o := core.IterateOptions{Iterations: iters, Overlap: overlap, Damping: 0.85}
+		// Warm-up grows the arenas; the measurement sees only steady state.
+		if _, err := eng.Iterate(a, x0, o); err != nil {
+			return err
+		}
+		var runErr error
+		perCall := testing.AllocsPerRun(10, func() {
+			if _, err := eng.Iterate(a, x0, o); err != nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return runErr
+		}
+		perIter := perCall / iters
+		if perIter > worst {
+			worst = perIter
+		}
+		name := "sequential"
+		if overlap {
+			name = "ITS overlap"
+		}
+		t.add(name, fmt.Sprintf("%.1f", perCall), fmt.Sprintf("%.2f", perIter),
+			fmt.Sprintf("%d", AllocBudgetPerIteration))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d nodes, %d iterations per call, Workers=1/MergeWorkers=1, engine warmed before measuring.\n", scale, iters)
+	if worst > AllocBudgetPerIteration {
+		if raceEnabled {
+			fmt.Fprintf(w, "Budget of %d/iteration exceeded (%.2f) — not enforced under the race detector.\n",
+				AllocBudgetPerIteration, worst)
+			return nil
+		}
+		return fmt.Errorf("bench: steady-state allocations %.2f/iteration exceed the documented budget of %d",
+			worst, AllocBudgetPerIteration)
+	}
+	fmt.Fprintf(w, "Steady state holds the documented budget of %d allocations per iteration.\n", AllocBudgetPerIteration)
+	return nil
+}

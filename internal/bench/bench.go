@@ -77,6 +77,7 @@ func Registry() []Experiment {
 		{ID: "stack-scaling", Title: "§3: GTEPS vs HBM stack count (multi-stack scalability)", Run: RunStackScaling},
 		{ID: "skew-model", Title: "Model refinement: degree-aware intermediate-record estimate vs uniform", Run: RunSkewModel},
 		{ID: "designspace", Title: "Co-design: (p, K, lanes) sweep under the 7.5 mm2 / 11 MiB budget", Run: RunDesignSpace},
+		{ID: "alloc-steady", Title: "Steady state: iterative-SpMV allocations per iteration vs budget", Run: RunAllocSteady},
 		{ID: "host-baseline", Title: "Grounding: measured host-CPU SpMV vs modeled COTS and accelerator", Run: RunHostBaseline},
 		{ID: "functional", Title: "Functional cross-check: Two-Step vs reference on scaled datasets", Run: RunFunctional},
 	}

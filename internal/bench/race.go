@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose allocation instrumentation invalidates the
+// alloc-steady budget check.
+const raceEnabled = true

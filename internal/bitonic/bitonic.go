@@ -161,11 +161,42 @@ func (p *PreSorter) ComparatorBits() int {
 // length must equal the pre-sorter width (the DRAM interface delivers
 // exactly p records per cycle).
 func (p *PreSorter) Sort(batch []types.Record) error {
+	var buf SortBuf
+	return p.SortWith(&buf, batch)
+}
+
+// SortBuf is a per-goroutine scratch for SortWith: the lane array is
+// recycled across batches, so a routing loop that reuses one buffer per
+// worker pre-sorts its whole stream without allocating. The zero value
+// is ready to use.
+type SortBuf struct {
+	lanes []lane
+}
+
+// SortWith is Sort using the caller's scratch buffer. The comparator
+// schedule, the stability key (radix·width + lane index), and the
+// resulting order are identical to Sort.
+func (p *PreSorter) SortWith(buf *SortBuf, batch []types.Record) error {
+	if len(batch) != p.net.Width {
+		return fmt.Errorf("bitonic: got %d lanes, network width %d", len(batch), p.net.Width)
+	}
+	if cap(buf.lanes) < len(batch) {
+		buf.lanes = make([]lane, len(batch))
+	}
+	lanes := buf.lanes[:len(batch)]
 	w := uint64(p.net.Width)
-	i := uint64(0)
-	return p.net.SortRecordsBy(batch, func(r types.Record) uint64 {
-		k := r.Radix(p.Q)*w + i
-		i++
-		return k
-	})
+	for i, r := range batch {
+		lanes[i] = lane{key: r.Radix(p.Q)*w + uint64(i), rec: r}
+	}
+	for _, stage := range p.net.Stages {
+		for _, c := range stage {
+			if (lanes[c.I].key > lanes[c.J].key) == c.Asc {
+				lanes[c.I], lanes[c.J] = lanes[c.J], lanes[c.I]
+			}
+		}
+	}
+	for i := range batch {
+		batch[i] = lanes[i].rec
+	}
+	return nil
 }

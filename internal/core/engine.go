@@ -12,7 +12,6 @@ import (
 	"mwmerge/internal/report"
 	"mwmerge/internal/types"
 	"mwmerge/internal/vector"
-	"mwmerge/internal/vldi"
 )
 
 // Engine executes Two-Step SpMV while keeping the off-chip traffic ledger.
@@ -30,6 +29,17 @@ type Engine struct {
 	rec       *report.Recorder
 	lastSnap  report.Counters
 	iterating bool
+
+	// Steady-state memory reuse (scratch.go): the cached matrix plan,
+	// the two rotating step-1 banks, the dense free list, and the
+	// recycled pipeline handoff primitives. All are confined to the
+	// goroutine driving the engine's public methods.
+	plan      *enginePlan
+	banks     [2]stripeBank
+	bankIdx   int
+	denseFree []vector.Dense
+	gate      *segmentGate
+	nextCh    chan step1Result
 }
 
 // RunStats aggregates execution statistics across calls: every field
@@ -129,35 +139,55 @@ func (e *Engine) snapshot(label string) {
 // SpMV computes y = A·x + yIn with the Two-Step algorithm. yIn may be nil
 // for y = A·x. The matrix dimension must not exceed cfg.MaxDimension().
 func (e *Engine) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) {
-	if uint64(len(x)) != a.Cols {
-		return nil, fmt.Errorf("core: x dimension %d != %d columns", len(x), a.Cols)
-	}
-	if yIn != nil && uint64(len(yIn)) != a.Rows {
-		return nil, fmt.Errorf("core: y dimension %d != %d rows", len(yIn), a.Rows)
-	}
-	if a.Rows > e.cfg.MaxDimension() {
-		return nil, fmt.Errorf("core: dimension %d exceeds engine capacity %d (ways %d x segment %d)",
-			a.Rows, e.cfg.MaxDimension(), e.cfg.Merge.Ways, e.cfg.SegmentWidth())
-	}
-
-	det, err := e.buildDetector(a)
-	if err != nil {
+	if err := e.checkSpMV(a, x, yIn); err != nil {
 		return nil, err
 	}
-	e.chargeDetector(a, det)
-
-	lists, err := e.runStep1(a, x, det)
-	if err != nil {
-		return nil, err
-	}
-	y, err := e.runStep2(lists, a.Rows, yIn)
-	if err != nil {
+	y := vector.NewDense(int(a.Rows))
+	if err := e.spmvCompute(a, x, yIn, y); err != nil {
 		return nil, err
 	}
 	if !e.iterating {
 		e.snapshot("spmv")
 	}
 	return y, nil
+}
+
+// checkSpMV validates the SpMV preconditions shared by the one-shot and
+// iterative entry points.
+func (e *Engine) checkSpMV(a *matrix.COO, x, yIn vector.Dense) error {
+	if uint64(len(x)) != a.Cols {
+		return fmt.Errorf("core: x dimension %d != %d columns", len(x), a.Cols)
+	}
+	if yIn != nil && uint64(len(yIn)) != a.Rows {
+		return fmt.Errorf("core: y dimension %d != %d rows", len(yIn), a.Rows)
+	}
+	if a.Rows > e.cfg.MaxDimension() {
+		return fmt.Errorf("core: dimension %d exceeds engine capacity %d (ways %d x segment %d)",
+			a.Rows, e.cfg.MaxDimension(), e.cfg.Merge.Ways, e.cfg.SegmentWidth())
+	}
+	return nil
+}
+
+// spmvCompute runs one Two-Step application into y (length a.Rows,
+// fully overwritten), reusing the plan cache and a step-1 bank. It
+// re-validates the inputs so iterative callers surface exactly the
+// errors a standalone SpMV call would.
+func (e *Engine) spmvCompute(a *matrix.COO, x, yIn, y vector.Dense) error {
+	if err := e.checkSpMV(a, x, yIn); err != nil {
+		return err
+	}
+	plan, err := e.planFor(a)
+	if err != nil {
+		return err
+	}
+	e.chargeDetector(a, plan.det)
+	bank := e.nextBank()
+	e.step1Compute(plan.stripes, x, plan.det, nil, bank)
+	lists, err := e.commitStep1(plan.stripes, bank)
+	if err != nil {
+		return err
+	}
+	return e.runStep2Into(lists, a.Rows, yIn, y, 0, nil)
 }
 
 // stripeOutcome carries one stripe's records plus its accounting deltas,
@@ -194,17 +224,6 @@ func (e *Engine) chargeDetector(a *matrix.COO, det *hdn.Detector) {
 	e.charge(mem.Traffic{MatrixBytes: uint64(a.NNZ()) * uint64(e.cfg.MetaBytes)})
 }
 
-// runStep1 partitions A, executes the per-stripe partial SpMV (optionally
-// across Workers goroutines) and merges the accounting. It returns the
-// sorted intermediate record lists.
-func (e *Engine) runStep1(a *matrix.COO, x vector.Dense, det *hdn.Detector) ([][]types.Record, error) {
-	stripes, err := e.planStripes(a)
-	if err != nil {
-		return nil, err
-	}
-	return e.commitStep1(stripes, e.step1Compute(stripes, x, det, nil))
-}
-
 // planStripes partitions A into engine-width column stripes and checks
 // the merge-way bound.
 func (e *Engine) planStripes(a *matrix.COO) ([]*matrix.Stripe, error) {
@@ -221,12 +240,15 @@ func (e *Engine) planStripes(a *matrix.COO) ([]*matrix.Stripe, error) {
 // step1Compute executes the per-stripe partial SpMV across Workers
 // goroutines without touching persistent engine state (recorder spans
 // aside), which is what lets the ITS pipeline run it concurrently with
-// the previous iteration's step 2. With a non-nil gate, stripe k first
-// waits until segment k of x has been published and releases its
-// handoff slot when done — successful or not, so a failed stripe can
-// never starve the producer.
-func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn.Detector, gate *segmentGate) []stripeOutcome {
-	outcomes := make([]stripeOutcome, len(stripes))
+// the previous iteration's step 2. Outcomes land in the bank, whose
+// per-stripe scratch slots the workers recycle (stripe k touches only
+// slot k, so parallel runs stay race-free and deterministic). With a
+// non-nil gate, stripe k first waits until segment k of x has been
+// published and releases its handoff slot when done — successful or
+// not, so a failed stripe can never starve the producer.
+func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn.Detector, gate *segmentGate, bank *stripeBank) {
+	bank.sized(len(stripes))
+	outcomes := bank.outcomes
 	run := func(w, k int) {
 		if gate != nil {
 			if err := gate.wait(k); err != nil {
@@ -236,7 +258,7 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 			}
 			defer gate.consume()
 		}
-		outcomes[k] = e.stripeTask(w, k, stripes[k], x, det)
+		outcomes[k] = e.stripeTask(w, k, stripes[k], x, det, &bank.stripes[k])
 	}
 
 	workers := e.cfg.Workers
@@ -279,16 +301,17 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 	if e.rec != nil {
 		s1.End()
 	}
-	return outcomes
 }
 
-// commitStep1 folds side-effect-free stripe outcomes into the
+// commitStep1 folds the bank's side-effect-free stripe outcomes into the
 // persistent ledger and statistics, in stripe order, and returns the
-// sorted intermediate record lists.
-func (e *Engine) commitStep1(stripes []*matrix.Stripe, outcomes []stripeOutcome) ([][]types.Record, error) {
+// sorted intermediate record lists (headers owned by the bank, records
+// by its per-stripe slots — both live until the consuming step 2
+// finishes, which the two-bank rotation guarantees).
+func (e *Engine) commitStep1(stripes []*matrix.Stripe, bank *stripeBank) ([][]types.Record, error) {
 	e.stats.Stripes += len(stripes)
-	lists := make([][]types.Record, len(outcomes))
-	for k, out := range outcomes {
+	lists := bank.lists
+	for k, out := range bank.outcomes {
 		if out.err != nil {
 			return nil, out.err
 		}
@@ -310,24 +333,35 @@ func (e *Engine) commitStep1(stripes []*matrix.Stripe, outcomes []stripeOutcome)
 // stripeTask runs one stripe's step 1, wrapped in a span on the
 // executing worker's lane when a recorder is attached — the per-lane
 // utilization behind the report's step-1 load-balance view.
-func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det *hdn.Detector) stripeOutcome {
+func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch) stripeOutcome {
 	if e.rec == nil {
-		return e.processStripe(s, x, det)
+		return e.processStripe(s, x, det, scr)
 	}
 	sp := e.rec.StartSpan("step1/w"+strconv.Itoa(worker), "s"+strconv.Itoa(k))
 	defer sp.End()
-	return e.processStripe(s, x, det)
+	return e.processStripe(s, x, det, scr)
 }
 
 // processStripe runs step 1 for one stripe and computes its full
-// accounting without touching engine state.
-func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detector) stripeOutcome {
+// accounting without touching engine state beyond scr, the stripe's
+// recycled scratch slot (nil forces fresh allocations — the one-shot
+// paths SpMVSliced/SpMVStripes use that mode).
+func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch) stripeOutcome {
 	var out stripeOutcome
 	xSeg := x[s.ColStart : s.ColStart+s.Width]
 	// x segment streamed into the scratchpad once per stripe.
 	out.traffic.SourceVectorBytes += s.Width * uint64(e.cfg.ValueBytes)
 
-	v, st, err := step1(s, xSeg, det)
+	var v *vector.Sparse
+	var st Step1Stats
+	var err error
+	if scr != nil {
+		scr.v = vector.Sparse{Dim: int(s.Rows), Recs: scr.recsFor(s.NNZ())}
+		v = &scr.v
+		st, err = step1Into(v, s, xSeg, det)
+	} else {
+		v, st, err = step1(s, xSeg, det)
+	}
 	if err != nil {
 		out.err = err
 		return out
@@ -354,16 +388,25 @@ func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detect
 
 	if e.cfg.VectorCodec != nil {
 		// Functional round trip through the codec proves the compressed
-		// stream reconstructs exactly.
-		cv, err := e.cfg.VectorCodec.CompressSparse(v, e.cfg.ValueBytes)
-		if err != nil {
-			out.err = err
-			return out
-		}
-		v, err = e.cfg.VectorCodec.DecompressSparse(cv)
-		if err != nil {
-			out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
-			return out
+		// stream reconstructs exactly. The codec is lossless, so the
+		// scratch path verifies in place (zero allocations) instead of
+		// materializing the decompressed copy.
+		if scr != nil {
+			if err := e.cfg.VectorCodec.RoundTripRecords(v.Recs, &scr.bw); err != nil {
+				out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
+				return out
+			}
+		} else {
+			cv, err := e.cfg.VectorCodec.CompressSparse(v, e.cfg.ValueBytes)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			v, err = e.cfg.VectorCodec.DecompressSparse(cv)
+			if err != nil {
+				out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
+				return out
+			}
 		}
 	}
 	out.recs = recordsOf(v)
@@ -408,12 +451,28 @@ func (e *Engine) runStep2Into(lists [][]types.Record, dim uint64, yIn, y vector.
 	return nil
 }
 
-// compressedStripeMeta VLDI-encodes the stripe meta-data: the column-index
-// delta stream within each row (sequential, streaming-only reads — §5.1)
-// plus one row-delta per row transition.
+// compressedStripeMeta returns the byte footprint of the stripe's
+// VLDI-encoded meta-data, memoized in the plan cache when the stripe
+// belongs to the cached plan: the matrix is immutable within a run, so
+// the bits are computed once and reused every iteration.
 func (e *Engine) compressedStripeMeta(s *matrix.Stripe) uint64 {
-	codec := e.cfg.MatrixCodec
-	var deltas []uint64
+	if p := e.plan; p != nil && s.Index < len(p.stripes) && p.stripes[s.Index] == s {
+		if !p.metaDone[s.Index] {
+			p.metaBits[s.Index] = e.stripeMetaBits(s)
+			p.metaDone[s.Index] = true
+		}
+		return (p.metaBits[s.Index] + 7) / 8
+	}
+	return (e.stripeMetaBits(s) + 7) / 8
+}
+
+// stripeMetaBits sizes the stripe's VLDI meta-data stream — the
+// column-index delta stream within each row (sequential, streaming-only
+// reads — §5.1) plus one row-delta per row transition — without
+// materializing deltas or the encoding: the streaming sizer is exact
+// (Bytes == EncodeDeltas(...).Bytes()).
+func (e *Engine) stripeMetaBits(s *matrix.Stripe) uint64 {
+	sizer := e.cfg.MatrixCodec.NewSizer()
 	var prevRow, prevCol uint64
 	first := true
 	for _, ent := range s.Entries {
@@ -422,37 +481,37 @@ func (e *Engine) compressedStripeMeta(s *matrix.Stripe) uint64 {
 			if !first {
 				rowDelta = ent.Row - prevRow
 			}
-			deltas = append(deltas, rowDelta, ent.Col)
+			sizer.AddDelta(rowDelta)
+			sizer.AddDelta(ent.Col)
 			prevRow, prevCol = ent.Row, ent.Col
 			first = false
 			continue
 		}
-		deltas = append(deltas, ent.Col-prevCol)
+		sizer.AddDelta(ent.Col - prevCol)
 		prevCol = ent.Col
 	}
-	enc := codec.EncodeDeltas(deltas)
-	return enc.Bytes()
+	return sizer.Bits()
 }
 
 // vecBytes returns the DRAM footprint of an intermediate record stream at
 // the engine's precision (VLDI-compressed when configured) together with
-// the compressed/uncompressed byte deltas for the statistics.
+// the compressed/uncompressed byte deltas for the statistics. The
+// compressed size comes from the streaming sizer — exactly
+// EncodeDeltas(DeltasFromKeys(keys)).Bytes(), with zero intermediate
+// slices.
 func (e *Engine) vecBytes(recs []types.Record) (footprint, compressed, uncompressed uint64) {
 	nnz := uint64(len(recs))
 	raw := nnz * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)
 	if e.cfg.VectorCodec == nil || nnz == 0 {
 		return raw, raw, raw
 	}
-	keys := make([]uint64, len(recs))
-	for i, r := range recs {
-		keys[i] = r.Key
+	sizer := e.cfg.VectorCodec.NewSizer()
+	for _, r := range recs {
+		if err := sizer.AddKey(r.Key); err != nil {
+			// Sorted invariant violated upstream; charge uncompressed.
+			return raw, raw, raw
+		}
 	}
-	deltas, err := vldi.DeltasFromKeys(keys)
-	if err != nil {
-		// Sorted invariant violated upstream; charge uncompressed.
-		return raw, raw, raw
-	}
-	enc := e.cfg.VectorCodec.EncodeDeltas(deltas)
-	b := enc.Bytes() + nnz*uint64(e.cfg.ValueBytes)
+	b := sizer.Bytes() + nnz*uint64(e.cfg.ValueBytes)
 	return b, b, raw
 }

@@ -129,13 +129,18 @@ func (e *Engine) Iterate(a *matrix.COO, x0 vector.Dense, opt IterateOptions) (It
 		if e.rec != nil {
 			iterStart = e.rec.Now()
 		}
-		y, err := e.SpMV(a, x, nil)
-		if err != nil {
+		// Ping-pong through the engine's dense free list: the previous
+		// iteration's source buffer becomes a future result buffer. The
+		// final x is returned and therefore never recycled.
+		y := e.getDense(int(a.Rows))
+		if err := e.spmvCompute(a, x, nil, y); err != nil {
+			e.putDense(y)
 			return res, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
 		if damping != 0 {
 			dampSegment(y, damping, base)
 		}
+		e.putDense(x)
 		x = y
 
 		if it < opt.Iterations-1 {
@@ -228,12 +233,14 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 		if e.rec != nil {
 			iterStart = e.rec.Now()
 		}
-		y, err := e.SpMV(norm, x, nil)
-		if err != nil {
+		y := e.getDense(int(n))
+		if err := e.spmvCompute(norm, x, nil, y); err != nil {
+			e.putDense(y)
 			return nil, it, err
 		}
 		dampSegment(y, damping, teleportBase(x))
 		delta := l1Delta(y, x)
+		e.putDense(x)
 		x = y
 		if delta < tol {
 			e.recordIteration(it-1, iterStart)

@@ -44,6 +44,18 @@ func newSegmentGate(ahead int) *segmentGate {
 	return g
 }
 
+// reset rewinds a quiescent gate for reuse by the next pipelined
+// iteration. Callers must have joined both sides first (the driver joins
+// the consumer goroutine before every reset).
+func (g *segmentGate) reset(ahead int) {
+	g.mu.Lock()
+	g.ahead = ahead
+	g.published = 0
+	g.consumed = 0
+	g.err = nil
+	g.mu.Unlock()
+}
+
 // publish marks the next segment (ascending) complete, blocking while
 // the consumer trails more than the handoff bound. The wait cannot
 // deadlock: stripes are dispatched in ascending order and consumed
@@ -132,10 +144,10 @@ type pipelineHooks struct {
 	converged func(it int, y, x vector.Dense) bool
 }
 
-// step1Result carries a speculative step-1 run back from its goroutine,
-// with the recorder timestamps that bound it.
+// step1Result carries a speculative step-1 run's recorder timestamps
+// back from its goroutine; the outcomes themselves live in the bank the
+// run was handed.
 type step1Result struct {
-	outcomes   []stripeOutcome
 	start, end uint64
 }
 
@@ -150,14 +162,11 @@ type step1Result struct {
 // joined and discarded without committing — wasted wall-clock, as on
 // the real machine, but no ledger pollution.
 func (e *Engine) iteratePipelined(a *matrix.COO, x0 vector.Dense, maxIters int, h pipelineHooks) (vector.Dense, int, uint64, error) {
-	det, err := e.buildDetector(a)
+	plan, err := e.planFor(a)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	stripes, err := e.planStripes(a)
-	if err != nil {
-		return nil, 0, 0, err
-	}
+	stripes, det := plan.stripes, plan.det
 	rows := a.Rows
 	width := e.cfg.SegmentWidth()
 
@@ -168,10 +177,11 @@ func (e *Engine) iteratePipelined(a *matrix.COO, x0 vector.Dense, maxIters int, 
 		iterStart = e.rec.Now()
 	}
 	// Step 1 of iteration 0 has no producing step 2 to overlap with.
-	outcomes := e.step1Compute(stripes, x, det, nil)
+	bank := e.nextBank()
+	e.step1Compute(stripes, x, det, nil, bank)
 	for it := 0; ; it++ {
 		e.chargeDetector(a, det)
-		lists, err := e.commitStep1(stripes, outcomes)
+		lists, err := e.commitStep1(stripes, bank)
 		if err != nil {
 			return nil, it, saved, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
@@ -180,7 +190,7 @@ func (e *Engine) iteratePipelined(a *matrix.COO, x0 vector.Dense, maxIters int, 
 		if h.update != nil {
 			update = h.update(it, x)
 		}
-		y := vector.NewDense(int(rows))
+		y := e.getDense(int(rows))
 
 		if it == maxIters-1 {
 			// Final iteration: nothing left to overlap with.
@@ -191,19 +201,23 @@ func (e *Engine) iteratePipelined(a *matrix.COO, x0 vector.Dense, maxIters int, 
 				update(y)
 			}
 			e.recordIteration(it, iterStart)
+			e.putDense(x)
 			return y, it + 1, saved, nil
 		}
 
-		// Launch step 1 of iteration it+1 against the y being merged;
-		// its stripes gate on the segment publishes below.
-		gate := newSegmentGate(2)
-		next := make(chan step1Result, 1)
+		// Launch step 1 of iteration it+1 against the y being merged
+		// into the other bank; its stripes gate on the segment publishes
+		// below. Exactly one step-1 run is ever in flight, so the
+		// recycled gate and handoff channel are quiescent here.
+		gate := e.pipeGate(2)
+		next := e.pipeNext()
+		nextBank := e.nextBank()
 		go func() {
 			var r step1Result
 			if e.rec != nil {
 				r.start = e.rec.Now()
 			}
-			r.outcomes = e.step1Compute(stripes, y, det, gate)
+			e.step1Compute(stripes, y, det, gate, nextBank)
 			if e.rec != nil {
 				r.end = e.rec.Now()
 			}
@@ -253,14 +267,18 @@ func (e *Engine) iteratePipelined(a *matrix.COO, x0 vector.Dense, maxIters int, 
 		}
 		if stop {
 			e.recordIteration(it, iterStart)
+			e.putDense(x)
 			return y, it + 1, saved, nil
 		}
 		// Another iteration follows and its source vector stayed on
 		// chip in the second segment buffer: book the round trip saved.
 		saved += e.accountTransition(rows, true)
 		e.recordIteration(it, iterStart)
+		// x is dead: iteration it's step 1 consumed it before the loop
+		// and the joined speculative step 1 read y, not x. Recycle it.
+		e.putDense(x)
 		x = y
-		outcomes = nr.outcomes
+		bank = nextBank
 		iterStart = nr.start
 	}
 }

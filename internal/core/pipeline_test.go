@@ -236,6 +236,7 @@ func benchmarkIterate(b *testing.B, overlap bool) {
 	}
 	x0 := randomX(a.Rows, 8)
 	opt := IterateOptions{Iterations: 8, Overlap: overlap, Damping: 0.85}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Iterate(a, x0, opt); err != nil {

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vldi"
+)
+
+// sizeTestEngine builds an engine with VLDI codecs on both streams.
+func sizeTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	cfg := testConfig()
+	codec, err := vldi.NewCodec(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.VectorCodec = codec
+	cfg.MatrixCodec = codec
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestStripeMetaBitsMatchesEncoding checks the size-only stripe-meta
+// path against materializing the delta stream and encoding it — the
+// pre-arena implementation — bit for bit, and the memoized
+// compressedStripeMeta against both.
+func TestStripeMetaBitsMatchesEncoding(t *testing.T) {
+	e := sizeTestEngine(t)
+	a, err := graph.ErdosRenyi(2000, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes, err := matrix.Partition1D(a, e.cfg.SegmentWidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := e.cfg.MatrixCodec
+	for _, s := range stripes {
+		var deltas []uint64
+		var prevRow, prevCol uint64
+		first := true
+		for _, ent := range s.Entries {
+			if first || ent.Row != prevRow {
+				rowDelta := ent.Row
+				if !first {
+					rowDelta = ent.Row - prevRow
+				}
+				deltas = append(deltas, rowDelta, ent.Col)
+				prevRow, prevCol = ent.Row, ent.Col
+				first = false
+				continue
+			}
+			deltas = append(deltas, ent.Col-prevCol)
+			prevCol = ent.Col
+		}
+		enc := codec.EncodeDeltas(deltas)
+		if got := e.stripeMetaBits(s); got != enc.Bits {
+			t.Fatalf("stripe %d: stripeMetaBits %d != encoded %d", s.Index, got, enc.Bits)
+		}
+		if got := e.compressedStripeMeta(s); got != enc.Bytes() {
+			t.Fatalf("stripe %d: compressedStripeMeta %d != encoded %d", s.Index, got, enc.Bytes())
+		}
+	}
+}
+
+// TestCompressedStripeMetaMemoized verifies the plan cache returns the
+// same bytes on repeated calls for plan-owned stripes (the memoized
+// path) as the direct computation.
+func TestCompressedStripeMetaMemoized(t *testing.T) {
+	e := sizeTestEngine(t)
+	a, err := graph.ErdosRenyi(1000, 4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.planFor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.stripes {
+		direct := (e.stripeMetaBits(s) + 7) / 8
+		if got := e.compressedStripeMeta(s); got != direct {
+			t.Fatalf("stripe %d: first memoized call %d != direct %d", s.Index, got, direct)
+		}
+		if got := e.compressedStripeMeta(s); got != direct {
+			t.Fatalf("stripe %d: second memoized call %d != direct %d", s.Index, got, direct)
+		}
+	}
+}
+
+// TestVecBytesMatchesEncoding checks the streaming vecBytes against the
+// materialized DeltasFromKeys + EncodeDeltas reference and against the
+// documented uncompressed fallbacks.
+func TestVecBytesMatchesEncoding(t *testing.T) {
+	e := sizeTestEngine(t)
+	recs := []types.Record{{Key: 3, Val: 1}, {Key: 4, Val: 2}, {Key: 900, Val: 3}, {Key: 1 << 40, Val: 4}}
+	keys := make([]uint64, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	deltas, err := vldi.DeltasFromKeys(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComp := e.cfg.VectorCodec.EncodeDeltas(deltas).Bytes() + uint64(len(recs))*uint64(e.cfg.ValueBytes)
+	wantRaw := uint64(len(recs)) * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)
+
+	fp, comp, uncomp := e.vecBytes(recs)
+	if fp != wantComp || comp != wantComp || uncomp != wantRaw {
+		t.Fatalf("vecBytes = (%d, %d, %d), want (%d, %d, %d)", fp, comp, uncomp, wantComp, wantComp, wantRaw)
+	}
+
+	// Empty stream: raw zero on every leg.
+	if fp, comp, uncomp := e.vecBytes(nil); fp != 0 || comp != 0 || uncomp != 0 {
+		t.Fatalf("vecBytes(nil) = (%d, %d, %d), want zeros", fp, comp, uncomp)
+	}
+
+	// Unsorted stream: the sorted invariant is violated upstream, so all
+	// three legs fall back to the uncompressed footprint.
+	bad := []types.Record{{Key: 9}, {Key: 9}}
+	badRaw := uint64(len(bad)) * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)
+	if fp, comp, uncomp := e.vecBytes(bad); fp != badRaw || comp != badRaw || uncomp != badRaw {
+		t.Fatalf("vecBytes(unsorted) = (%d, %d, %d), want all %d", fp, comp, uncomp, badRaw)
+	}
+
+	// No codec configured: footprint is raw.
+	plain, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, comp, uncomp := plain.vecBytes(recs); fp != wantRaw || comp != wantRaw || uncomp != wantRaw {
+		t.Fatalf("vecBytes(no codec) = (%d, %d, %d), want all %d", fp, comp, uncomp, wantRaw)
+	}
+}

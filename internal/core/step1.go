@@ -26,11 +26,22 @@ type Step1Stats struct {
 // either the HDN or the general pipeline (functionally identical; the
 // split feeds the §5.3 ablation).
 func step1(stripe *matrix.Stripe, xSeg []float64, det *hdn.Detector) (*vector.Sparse, Step1Stats, error) {
+	v := vector.NewSparse(int(stripe.Rows), stripe.NNZ())
+	st, err := step1Into(v, stripe, xSeg, det)
+	if err != nil {
+		return nil, st, err
+	}
+	return v, st, nil
+}
+
+// step1Into is step1 emitting into the caller-provided sparse vector
+// (records appended after its current tail, normally empty) — the
+// arena-backed form the engine's recycled stripe slots use.
+func step1Into(v *vector.Sparse, stripe *matrix.Stripe, xSeg []float64, det *hdn.Detector) (Step1Stats, error) {
 	var st Step1Stats
 	if uint64(len(xSeg)) < stripe.Width {
-		return nil, st, fmt.Errorf("core: segment of %d elements narrower than stripe width %d", len(xSeg), stripe.Width)
+		return st, fmt.Errorf("core: segment of %d elements narrower than stripe width %d", len(xSeg), stripe.Width)
 	}
-	v := vector.NewSparse(int(stripe.Rows), stripe.NNZ())
 	for _, e := range stripe.Entries {
 		x := xSeg[e.Col]
 		st.ScratchpadReads++
@@ -47,11 +58,11 @@ func step1(stripe *matrix.Stripe, xSeg []float64, det *hdn.Detector) (*vector.Sp
 			}
 		}
 		if err := v.Accumulate(e.Row, prod); err != nil {
-			return nil, st, fmt.Errorf("core: stripe %d: %w", stripe.Index, err)
+			return st, fmt.Errorf("core: stripe %d: %w", stripe.Index, err)
 		}
 	}
 	st.Records = uint64(v.NNZ())
-	return v, st, nil
+	return st, nil
 }
 
 // step1Lanes is the P-lane variant: entries are processed in batches of P

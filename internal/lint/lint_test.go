@@ -133,6 +133,7 @@ func TestAnalyzers(t *testing.T) {
 			want: []string{
 				"densewrite|shared dense vector out",
 				"densewrite|shared dense vector out",
+				"densewrite|shared dense vector ar.out",
 			},
 		},
 		{
@@ -171,6 +172,13 @@ func TestAnalyzers(t *testing.T) {
 				"allow|needs a justification",
 				"determinism|range over map",
 			},
+		},
+		{
+			// A //go:build race / !race file pair: the loader must honor
+			// build constraints, or the pair redeclares its constant and
+			// the package fails to type-check before any analyzer runs.
+			corpus: "buildtags",
+			config: func(p string) Config { return Config{} },
 		},
 	}
 	for _, tc := range cases {

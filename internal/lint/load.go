@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -221,6 +222,16 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range ents {
 		if e.IsDir() || !isLintedGoFile(e.Name()) {
+			continue
+		}
+		// Honor //go:build constraints and GOOS/GOARCH file suffixes the
+		// way `go build` does, so tag-gated file pairs (e.g. race.go /
+		// norace.go) never type-check into the same package.
+		match, err := build.Default.MatchFile(dir, e.Name())
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package buildtags seeds a tag-gated file pair: without build-tag
+// awareness the loader would merge both files and fail on the
+// redeclared constant.
+package buildtags
+
+// raceEnabled reports a race-detector build.
+const raceEnabled = true

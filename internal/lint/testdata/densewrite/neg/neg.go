@@ -67,3 +67,55 @@ func Sequential(out vector.Dense, vals []float64) {
 		out[i] += v
 	}
 }
+
+// freeList mimics the engine's dense free list: buffers are recycled
+// across calls but each literal works on one it owns.
+type freeList struct {
+	mu   sync.Mutex
+	bufs []vector.Dense
+}
+
+func (f *freeList) take(n int) vector.Dense {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.bufs) == 0 {
+		return vector.NewDense(n)
+	}
+	d := f.bufs[len(f.bufs)-1]
+	f.bufs = f.bufs[:len(f.bufs)-1]
+	return d[:n]
+}
+
+// ArenaLocal takes a recycled dense buffer inside each literal; the
+// written vector's root is literal-local, so arena recycling stays
+// sanctioned as long as no shared vector is touched.
+func ArenaLocal(f *freeList, n, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := f.take(n)
+			for i := range local {
+				local[i] = float64(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// WorkerScratch hands each literal its own pre-grown arena slot as a
+// dense parameter, the per-worker batch pattern of the merge arena.
+func WorkerScratch(slots []vector.Dense) {
+	var wg sync.WaitGroup
+	for w := range slots {
+		wg.Add(1)
+		go func(scratch vector.Dense) {
+			defer wg.Done()
+			for i := range scratch {
+				scratch[i] = 0
+			}
+		}(slots[w])
+	}
+	wg.Wait()
+}

@@ -45,3 +45,26 @@ func DrainIndirect(out vector.Dense, vals []float64) {
 		out[i] = vals[i]
 	})
 }
+
+// arena mimics an engine-owned scratch arena holding the shared dense
+// result alongside recycled buffers.
+type arena struct {
+	out  vector.Dense
+	free []vector.Dense
+}
+
+// DrainArena writes the arena's shared dense result from worker
+// literals; recycling through an arena does not sanction the write.
+func DrainArena(ar *arena, parts [][]float64) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k, v := range parts[i] {
+				ar.out[k] += v
+			}
+		}(i)
+	}
+	wg.Wait()
+}

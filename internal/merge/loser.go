@@ -23,16 +23,28 @@ type LoserTreeMerged struct {
 // NewLoserTree builds a loser tree over the sources (nil sources count as
 // exhausted).
 func NewLoserTree(sources []Source) *LoserTreeMerged {
+	t := &LoserTreeMerged{}
+	t.Reset(sources)
+	return t
+}
+
+// Reset rebuilds the tree over a new source set, reusing the internal
+// arrays whenever their capacity allows, so steady-state callers replay
+// tournaments without reallocating. A zero LoserTreeMerged is valid input.
+func (t *LoserTreeMerged) Reset(sources []Source) {
 	k := len(sources)
 	if k == 0 {
 		k = 1
 	}
-	t := &LoserTreeMerged{
-		k:      k,
-		losers: make([]int, k),
-		heads:  make([]types.Record, k),
-		done:   make([]bool, k),
-		src:    make([]Source, k),
+	t.k = k
+	t.losers = grown(t.losers, k)
+	t.heads = grown(t.heads, k)
+	t.done = grown(t.done, k)
+	t.src = grown(t.src, k)
+	for i := range t.src {
+		t.src[i] = nil
+		t.done[i] = false
+		t.heads[i] = types.Record{}
 	}
 	copy(t.src, sources)
 	for i := range t.src {
@@ -47,7 +59,15 @@ func NewLoserTree(sources []Source) *LoserTreeMerged {
 		}
 	}
 	t.build()
-	return t
+}
+
+// grown returns s resized to n elements, reusing the backing array when
+// capacity allows. Contents are unspecified; callers must overwrite.
+func grown[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // less orders live sources by (key, index) — index tiebreak keeps the

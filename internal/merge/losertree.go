@@ -145,19 +145,6 @@ func (a *Accumulator) Next() (types.Record, bool) {
 // loser tree (ceil(log2 K) comparisons per record); the heap-based Merged
 // remains as an independent cross-check.
 func MergeAccumulate(lists [][]types.Record) []types.Record {
-	sources := make([]Source, len(lists))
-	total := 0
-	for i, l := range lists {
-		sources[i] = NewSliceSource(l)
-		total += len(l)
-	}
-	acc := NewAccumulator(NewLoserTree(sources))
-	out := make([]types.Record, 0, total)
-	for {
-		r, ok := acc.Next()
-		if !ok {
-			return out
-		}
-		out = append(out, r)
-	}
+	var ws Workspace
+	return ws.MergeAccumulateInto(nil, lists)
 }

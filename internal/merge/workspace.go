@@ -1,0 +1,47 @@
+package merge
+
+import (
+	"mwmerge/internal/types"
+)
+
+// Workspace holds the reusable state for repeated merge-accumulate runs:
+// the slice-source adapters, the Source interface slice fed to the tree,
+// and the loser tree itself. A single goroutine owns a Workspace; reuse
+// across calls is what keeps PRaP's per-core merges allocation-free in
+// steady state. The zero value is ready to use.
+type Workspace struct {
+	srcs   []SliceSource
+	ifaces []Source
+	tree   LoserTreeMerged
+}
+
+// MergeAccumulateInto merges sorted record lists and sums duplicate keys,
+// exactly like MergeAccumulate, but appends into dst (truncated first)
+// and recycles the workspace's tree and source adapters. The output is
+// bit-identical to MergeAccumulate: the same loser tree visits records in
+// the same (key, source index) order, so float accumulation order is
+// unchanged. dst must not alias any list.
+func (ws *Workspace) MergeAccumulateInto(dst []types.Record, lists [][]types.Record) []types.Record {
+	ws.srcs = grown(ws.srcs, len(lists))
+	ws.ifaces = grown(ws.ifaces, len(lists))
+	total := 0
+	for i, l := range lists {
+		ws.srcs[i] = SliceSource{recs: l}
+		ws.ifaces[i] = &ws.srcs[i]
+		total += len(l)
+	}
+	ws.tree.Reset(ws.ifaces)
+	acc := Accumulator{in: &ws.tree}
+	if dst == nil || cap(dst) < total {
+		dst = make([]types.Record, 0, total)
+	} else {
+		dst = dst[:0]
+	}
+	for {
+		r, ok := acc.Next()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, r)
+	}
+}

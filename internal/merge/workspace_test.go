@@ -1,0 +1,53 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mwmerge/internal/types"
+)
+
+// TestWorkspaceMatchesMergeAccumulate recycles one Workspace (and its
+// output buffer) across many differently shaped merges and checks each
+// result record-for-record against the allocating MergeAccumulate path.
+// Earlier outputs are copied before reuse, so a workspace that scribbled
+// on a previous result would be caught too.
+func TestWorkspaceMatchesMergeAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var ws Workspace
+	var dst []types.Record
+	for trial := 0; trial < 50; trial++ {
+		lists := randomSortedLists(rng, rng.Intn(8), 40, 200)
+		want := MergeAccumulate(lists)
+		dst = ws.MergeAccumulateInto(dst, lists)
+		if len(want) == 0 && len(dst) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(dst, want) {
+			t.Fatalf("trial %d: workspace merge diverged from MergeAccumulate", trial)
+		}
+	}
+}
+
+// TestWorkspaceGrowsAcrossCalls runs a small merge, then a larger one,
+// then small again: the recycled buffers must resize correctly in both
+// directions.
+func TestWorkspaceGrowsAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var ws Workspace
+	var dst []types.Record
+	for _, shape := range []struct{ n, maxLen int }{{2, 4}, {16, 300}, {1, 2}, {8, 100}} {
+		lists := randomSortedLists(rng, shape.n, shape.maxLen, 1000)
+		want := MergeAccumulate(lists)
+		dst = ws.MergeAccumulateInto(dst, lists)
+		if len(dst) != len(want) {
+			t.Fatalf("shape %+v: got %d records, want %d", shape, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("shape %+v: record %d: %+v != %+v", shape, i, dst[i], want[i])
+			}
+		}
+	}
+}

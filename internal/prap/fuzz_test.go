@@ -50,7 +50,7 @@ func FuzzRouteLists(f *testing.F) {
 		}
 
 		st := Stats{PerCoreInput: make([]uint64, p), PerCoreOutput: make([]uint64, p)}
-		slots, err := n.routeLists(lists, &st)
+		slots, err := n.routeLists(lists, &st, &mergeScratch{})
 
 		if sentinelIn {
 			if err == nil {

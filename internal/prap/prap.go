@@ -187,9 +187,10 @@ type SpanObserver interface {
 
 // Network is a PRaP step-2 merge network instance.
 type Network struct {
-	cfg    Config
-	sorter *bitonic.PreSorter
-	obs    SpanObserver
+	cfg     Config
+	sorter  *bitonic.PreSorter
+	obs     SpanObserver
+	scratch mergeScratch
 }
 
 // SetObserver attaches a span observer to the network's parallel phases
@@ -202,13 +203,13 @@ func (n *Network) SetObserver(o SpanObserver) { n.obs = o }
 // lane "<phase>/g<worker>" named "<task><i>"; with no observer the task
 // runs bare. The worker-indexed lanes expose per-goroutine utilization,
 // the host-side analogue of the paper's per-MC load balance (Fig. 11).
-func (n *Network) instrumented(phase, task string, fn func(int)) func(worker, i int) {
+func (n *Network) instrumented(phase, task string, fn func(worker, i int)) func(worker, i int) {
 	if n.obs == nil {
-		return func(_, i int) { fn(i) }
+		return fn
 	}
 	return func(worker, i int) {
 		end := n.obs.Begin(phase+"/g"+strconv.Itoa(worker), task+strconv.Itoa(i))
-		fn(i)
+		fn(worker, i)
 		end()
 	}
 }
@@ -237,28 +238,29 @@ type routeOutcome struct {
 // routeList streams one input list through the radix pre-sorter in
 // batches of p records and scatters the outputs into its per-(radix,
 // list) slots. Each list owns column li of every slots[r], so concurrent
-// routeList calls over distinct lists never share a slice element. A
+// routeList calls over distinct lists never share a slice element. batch
+// and sb are the calling worker's p-record presort scratch and bitonic
+// lane buffer, out the list's pre-zeroed outcome — all arena-owned, so
+// routing allocates only when a slot outgrows its recycled capacity. A
 // genuine record carrying the padding sentinel key is rejected rather
 // than silently dropped.
-func (n *Network) routeList(li int, list []types.Record, slots [][][]types.Record) routeOutcome {
+func (n *Network) routeList(li int, list []types.Record, slots [][][]types.Record, batch []types.Record, sb *bitonic.SortBuf, out *routeOutcome) {
 	p := n.cfg.Cores()
-	out := routeOutcome{perCore: make([]uint64, p)}
-	batch := make([]types.Record, p)
 	for off := 0; off < len(list); off += p {
 		m := copy(batch, list[off:])
 		for i := 0; i < m; i++ {
 			if batch[i].Key == invalidKey {
 				out.err = fmt.Errorf("prap: list %d record %d carries the reserved padding key %#x", li, off+i, invalidKey)
-				return out
+				return
 			}
 		}
 		for i := m; i < p; i++ {
 			batch[i] = types.Record{Key: invalidKey}
 		}
 		if p > 1 {
-			if err := n.sorter.Sort(batch); err != nil {
+			if err := n.sorter.SortWith(sb, batch); err != nil {
 				out.err = err
-				return out
+				return
 			}
 		}
 		out.batches++
@@ -271,7 +273,6 @@ func (n *Network) routeList(li int, list []types.Record, slots [][][]types.Recor
 			out.perCore[r]++
 		}
 	}
-	return out
 }
 
 // routeLists streams every input list through the radix pre-sorter in
@@ -279,16 +280,17 @@ func (n *Network) routeList(li int, list []types.Record, slots [][][]types.Recor
 // slots, exactly as the prefetch buffer of Fig. 10 is organized. The
 // stability of the pre-sorter guarantees each slot remains key-sorted.
 // Lists are sharded across MergeWorkers goroutines; per-list stats merge
-// deterministically in list order afterwards.
-func (n *Network) routeLists(lists [][]types.Record, st *Stats) ([][][]types.Record, error) {
+// deterministically in list order afterwards. Slots, batches, and
+// outcomes all live in the run's arena.
+func (n *Network) routeLists(lists [][]types.Record, st *Stats, scr *mergeScratch) ([][][]types.Record, error) {
 	p := n.cfg.Cores()
-	slots := make([][][]types.Record, p) // slots[radix][list]
-	for r := range slots {
-		slots[r] = make([][]types.Record, len(lists))
-	}
-	outcomes := make([]routeOutcome, len(lists))
-	forEach(n.cfg.workers(len(lists)), len(lists), n.instrumented("presort", "l", func(li int) {
-		outcomes[li] = n.routeList(li, lists[li], slots)
+	w := n.cfg.workers(len(lists))
+	slots := scr.slotsFor(p, len(lists)) // slots[radix][list]
+	outcomes := scr.outcomesFor(len(lists), p)
+	batches := scr.batchesFor(w, p)
+	sortBufs := scr.sortBufsFor(w)
+	forEach(w, len(lists), n.instrumented("presort", "l", func(worker, li int) {
+		n.routeList(li, lists[li], slots, batches[worker], &sortBufs[worker], &outcomes[li])
 	}))
 	for _, out := range outcomes {
 		if out.err != nil {
@@ -315,7 +317,9 @@ func (n *Network) Merge(lists [][]types.Record, dim uint64, yIn vector.Dense) (v
 		return nil, st, err
 	}
 	out := vector.NewDense(int(dim))
-	if err := n.mergeInto(lists, dim, yIn, out, &st, nil); err != nil {
+	scr, release := n.acquire()
+	defer release()
+	if err := n.mergeInto(lists, dim, yIn, out, &st, nil, scr); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
@@ -342,14 +346,16 @@ func (n *Network) MergeInto(lists [][]types.Record, dim uint64, yIn, out vector.
 	if uint64(len(out)) != dim {
 		return st, fmt.Errorf("prap: out dimension %d != %d", len(out), dim)
 	}
+	if publish != nil && segWidth == 0 {
+		return st, fmt.Errorf("prap: segment publishing needs a positive segment width")
+	}
+	scr, release := n.acquire()
+	defer release()
 	var plan *segmentPlan
 	if publish != nil {
-		if segWidth == 0 {
-			return st, fmt.Errorf("prap: segment publishing needs a positive segment width")
-		}
-		plan = newSegmentPlan(dim, segWidth, n.cfg.Cores(), publish)
+		plan = scr.planFor(dim, segWidth, n.cfg.Cores(), publish)
 	}
-	return st, n.mergeInto(lists, dim, yIn, out, &st, plan)
+	return st, n.mergeInto(lists, dim, yIn, out, &st, plan, scr)
 }
 
 // newStats returns a Stats with per-core slices sized for this network.
@@ -376,53 +382,53 @@ func (n *Network) validateMerge(lists [][]types.Record, dim uint64, yIn vector.D
 // is the one place goroutines write the shared dense result; spmvlint's
 // densewrite analyzer blesses it (and its exported callers) so new
 // parallel code cannot silently reassociate the per-element sums.
-func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.Dense, st *Stats, plan *segmentPlan) error {
+func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.Dense, st *Stats, plan *segmentPlan, scr *mergeScratch) error {
 	p := n.cfg.Cores()
-	slots, err := n.routeLists(lists, st)
+	slots, err := n.routeLists(lists, st, scr)
 	if err != nil {
 		return err
 	}
 
-	// Each MC merge-accumulates its residue class, then missing-key
-	// injection densifies its output over keys {r, r+p, r+2p, ...} and
-	// the store queue drains it into the strided slice y[r], y[r+p], ...
-	// No two cores touch the same output element and each element
-	// receives exactly one float64 add, so running the cores on
-	// MergeWorkers goroutines is bit-identical to the sequential drain.
+	// Each MC merge-accumulates its residue class, then the store queue
+	// walks its dense key sequence {r, r+p, r+2p, ...} directly — the
+	// missing-key injection of Fig. 11 fused with the drain, so injected
+	// records add 0.0 to out[key] without ever being materialized (the
+	// add still executes: skipping it would turn a -0.0 element into
+	// +0.0 and break bit-identity with the reference). No two cores
+	// touch the same output element and each element receives exactly
+	// one float64 add, so running the cores on MergeWorkers goroutines
+	// is bit-identical to the sequential drain.
 	if yIn != nil {
 		copy(out, yIn)
 	} else {
 		out.Fill(0)
 	}
-	injected := make([]uint64, p)
-	emitted := make([]uint64, p)
-	coreErr := make([]error, p)
-	forEach(n.cfg.workers(p), p, n.instrumented("merge", "mc", func(r int) {
-		merged := merge.MergeAccumulate(slots[r])
-		dense, inj := InjectMissingKeys(merged, uint64(r), uint64(p), dim)
-		injected[r] = inj
-		st.PerCoreOutput[r] = uint64(len(dense))
-		done := 0
-		for c, rec := range dense {
-			key := uint64(c)*uint64(p) + uint64(r)
-			if rec.Key != key {
-				coreErr[r] = fmt.Errorf("prap: store queue expected key %d from MC %d, got %d", key, r, rec.Key)
-				return
+	injected, emitted := scr.countersFor(p)
+	cores := scr.coresFor(p)
+	forEach(n.cfg.workers(p), p, n.instrumented("merge", "mc", func(_, r int) {
+		cs := &cores[r]
+		cs.merged = cs.ws.MergeAccumulateInto(cs.merged, slots[r])
+		done, i := 0, 0
+		for key := uint64(r); key < dim; key += uint64(p) {
+			var val float64
+			if i < len(cs.merged) && cs.merged[i].Key == key {
+				val = cs.merged[i].Val
+				i++
+			} else {
+				injected[r]++
 			}
 			if plan != nil {
 				plan.credit(&done, key)
 			}
-			out[key] += rec.Val
+			out[key] += val
 			emitted[r]++
 		}
+		st.PerCoreOutput[r] = emitted[r]
 		if plan != nil {
 			plan.creditRest(&done)
 		}
 	}))
 	for r := 0; r < p; r++ {
-		if coreErr[r] != nil {
-			return coreErr[r]
-		}
 		st.Injected += injected[r]
 		st.Emitted += emitted[r]
 	}
@@ -436,23 +442,14 @@ func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.
 // Because every core drains its residue class in ascending key order,
 // countdowns complete in ascending segment order, and the fetch-add
 // chain gives publish(s) a happens-before edge from every write any
-// core made into segment s. A core that aborts mid-drain simply never
-// credits its remaining segments, so their publishes never fire —
-// callers surface the drain error instead.
+// core made into segment s. The plan header and pending array live in
+// the run's arena (mergeScratch.planFor); a run owns them until its
+// drain completes, so recycling cannot race a live publish.
 type segmentPlan struct {
 	width   uint64
 	segs    int
 	pending []int32 // cores yet to drain past each segment
 	publish func(seg int)
-}
-
-func newSegmentPlan(dim, width uint64, cores int, publish func(int)) *segmentPlan {
-	segs := int((dim + width - 1) / width)
-	pending := make([]int32, segs)
-	for i := range pending {
-		pending[i] = int32(cores)
-	}
-	return &segmentPlan{width: width, segs: segs, pending: pending, publish: publish}
 }
 
 // credit marks, for the calling core, every segment that lies entirely

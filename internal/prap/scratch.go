@@ -1,0 +1,162 @@
+package prap
+
+import (
+	"sync"
+
+	"mwmerge/internal/bitonic"
+	"mwmerge/internal/merge"
+	"mwmerge/internal/types"
+)
+
+// mergeScratch is the network-owned arena recycled across Merge/MergeInto
+// calls: presort slots, per-worker route batches, per-list route
+// outcomes, per-core merge workspaces and output buffers, the store-queue
+// counters, and the segmentPlan pending array. Every sub-buffer is
+// indexed by list, worker, or core id, so the parallel phases never share
+// an element and reuse cannot perturb the deterministic schedule. One
+// merge run owns the arena at a time: callers acquire it with TryLock and
+// fall back to a fresh arena when another Merge is in flight, which keeps
+// the public API safe for concurrent use at the cost of allocations only
+// on the contended path.
+type mergeScratch struct {
+	mu       sync.Mutex
+	slots    [][][]types.Record // [radix][list], recycled via [:0]
+	outcomes []routeOutcome     // per list, perCore counters recycled
+	batches  [][]types.Record   // per presort worker
+	sortBufs []bitonic.SortBuf  // per presort worker
+	cores    []coreScratch      // per merge core
+	injected []uint64           // per core
+	emitted  []uint64           // per core
+	pending  []int32            // segmentPlan countdown arena
+	plan     segmentPlan        // reused plan header
+}
+
+// coreScratch is the per-merge-core slice of the arena: the recycled
+// merge-accumulate output buffer and the loser-tree workspace. Exactly
+// one goroutine drains core r in any run, so cores[r] needs no lock.
+type coreScratch struct {
+	merged []types.Record
+	ws     merge.Workspace
+}
+
+// acquire returns the network's arena when free, or a fresh one when a
+// concurrent merge holds it. release must be called when the run is done.
+func (n *Network) acquire() (scr *mergeScratch, release func()) {
+	if n.scratch.mu.TryLock() {
+		return &n.scratch, n.scratch.mu.Unlock
+	}
+	return &mergeScratch{}, func() {}
+}
+
+// slotsFor returns the [radix][list] slot matrix, every cell truncated to
+// length zero with capacity retained.
+func (s *mergeScratch) slotsFor(p, nl int) [][][]types.Record {
+	for len(s.slots) < p {
+		s.slots = append(s.slots, nil)
+	}
+	slots := s.slots[:p]
+	for r := range slots {
+		row := slots[r]
+		for len(row) < nl {
+			row = append(row, nil)
+		}
+		row = row[:nl]
+		for li := range row {
+			row[li] = row[li][:0]
+		}
+		slots[r] = row
+	}
+	s.slots = slots
+	return slots
+}
+
+// outcomesFor returns the per-list route outcomes with zeroed counters.
+func (s *mergeScratch) outcomesFor(nl, p int) []routeOutcome {
+	for len(s.outcomes) < nl {
+		s.outcomes = append(s.outcomes, routeOutcome{})
+	}
+	out := s.outcomes[:nl]
+	for i := range out {
+		pc := out[i].perCore
+		if cap(pc) < p {
+			pc = make([]uint64, p)
+		}
+		pc = pc[:p]
+		for j := range pc {
+			pc[j] = 0
+		}
+		out[i] = routeOutcome{perCore: pc}
+	}
+	s.outcomes = out
+	return out
+}
+
+// batchesFor returns one p-record presort batch per worker.
+func (s *mergeScratch) batchesFor(w, p int) [][]types.Record {
+	for len(s.batches) < w {
+		s.batches = append(s.batches, nil)
+	}
+	b := s.batches[:w]
+	for i := range b {
+		if cap(b[i]) < p {
+			b[i] = make([]types.Record, p)
+		}
+		b[i] = b[i][:p]
+	}
+	s.batches = b
+	return b
+}
+
+// sortBufsFor returns one bitonic lane buffer per presort worker, so
+// every batch of the run sorts through a recycled lane array.
+func (s *mergeScratch) sortBufsFor(w int) []bitonic.SortBuf {
+	for len(s.sortBufs) < w {
+		s.sortBufs = append(s.sortBufs, bitonic.SortBuf{})
+	}
+	s.sortBufs = s.sortBufs[:w]
+	return s.sortBufs
+}
+
+// coresFor returns the per-core workspaces.
+func (s *mergeScratch) coresFor(p int) []coreScratch {
+	for len(s.cores) < p {
+		s.cores = append(s.cores, coreScratch{})
+	}
+	s.cores = s.cores[:p]
+	return s.cores
+}
+
+// countersFor returns the zeroed per-core injected/emitted counters.
+func (s *mergeScratch) countersFor(p int) (injected, emitted []uint64) {
+	s.injected = zeroed(s.injected, p)
+	s.emitted = zeroed(s.emitted, p)
+	return s.injected, s.emitted
+}
+
+// planFor builds the segment-publishing plan in the arena: the pending
+// countdown array and the plan header are both recycled.
+func (s *mergeScratch) planFor(dim, width uint64, cores int, publish func(int)) *segmentPlan {
+	segs := int((dim + width - 1) / width)
+	if cap(s.pending) < segs {
+		s.pending = make([]int32, segs)
+	}
+	pending := s.pending[:segs]
+	for i := range pending {
+		pending[i] = int32(cores)
+	}
+	s.pending = pending
+	s.plan = segmentPlan{width: width, segs: segs, pending: pending, publish: publish}
+	return &s.plan
+}
+
+// zeroed resizes s to n and clears it, reusing capacity.
+func zeroed(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

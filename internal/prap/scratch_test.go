@@ -1,0 +1,103 @@
+package prap
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mwmerge/internal/vector"
+)
+
+// TestScratchReuseMatchesFresh runs many merges of varying shape through
+// one network and checks each against a fresh network's result and
+// stats: arena recycling across calls (including shrink and regrow) must
+// be invisible.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, err := New(smallConfig(2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		dim := uint64(rng.Intn(200) + 1)
+		lists := randomLists(rng, rng.Intn(8), dim, 0.3)
+		got, gotSt, err := n.Merge(lists, dim, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := New(smallConfig(2, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantSt, err := ref.Merge(lists, dim, nil)
+		if err != nil {
+			t.Fatalf("trial %d (fresh): %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: recycled network result diverged", trial)
+		}
+		if !reflect.DeepEqual(gotSt, wantSt) {
+			t.Fatalf("trial %d: stats diverged:\ngot  %+v\nwant %+v", trial, gotSt, wantSt)
+		}
+	}
+}
+
+// TestConcurrentMerges hammers one network from many goroutines at
+// once. The arena is single-occupancy — concurrent callers fall back to
+// fresh scratch — so every call must still be bit-identical to a fresh
+// network (the oracle's naive sum associates floats differently, so the
+// fresh network is the exact reference). Run under -race this is the
+// aliasing proof for the TryLock acquire path.
+func TestConcurrentMerges(t *testing.T) {
+	n, err := New(smallConfig(2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const callsEach = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for c := 0; c < callsEach; c++ {
+				dim := uint64(rng.Intn(150) + 1)
+				lists := randomLists(rng, rng.Intn(6), dim, 0.25)
+				var yIn vector.Dense
+				if rng.Intn(2) == 0 {
+					yIn = vector.NewDense(int(dim))
+					for i := range yIn {
+						yIn[i] = rng.NormFloat64()
+					}
+				}
+				got, gotSt, err := n.Merge(lists, dim, yIn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ref, err := New(smallConfig(2, 16))
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, wantSt, err := ref.Merge(lists, dim, yIn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gotSt, wantSt) {
+					t.Errorf("goroutine %d call %d: concurrent merge diverged from fresh network", g, c)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,12 @@ type Meta struct {
 	MergeCores   int `json:"merge_cores,omitempty"`
 	// Overlap records whether ITS iteration overlap was on.
 	Overlap bool `json:"overlap,omitempty"`
+	// Host allocation deltas over the run (runtime.MemStats Mallocs and
+	// TotalAlloc), the observability surface of the engine's scratch
+	// arenas: a steady-state regression shows up here without rerunning
+	// the alloc-steady experiment.
+	HostAllocs     uint64 `json:"host_allocs,omitempty"`
+	HostAllocBytes uint64 `json:"host_alloc_bytes,omitempty"`
 }
 
 // TrafficJSON is the stable JSON shape of one off-chip traffic ledger.

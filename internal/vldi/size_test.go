@@ -1,0 +1,199 @@
+package vldi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSizeDeltasMatchesEncode proves the size-only path byte-exact
+// against real encoding across block widths and delta shapes.
+func TestSizeDeltasMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := [][]uint64{
+		nil,
+		{0},
+		{0, 0, 0},
+		{1, 127, 128, 1 << 20, ^uint64(0)},
+	}
+	for i := 0; i < 32; i++ {
+		n := rng.Intn(64)
+		deltas := make([]uint64, n)
+		for j := range deltas {
+			deltas[j] = rng.Uint64() >> uint(rng.Intn(64))
+		}
+		cases = append(cases, deltas)
+	}
+	for block := 1; block <= 63; block++ {
+		c, err := NewCodec(block)
+		if err != nil {
+			t.Fatalf("block %d: %v", block, err)
+		}
+		for ci, deltas := range cases {
+			want := c.EncodeDeltas(deltas).Bytes()
+			if got := c.SizeDeltas(deltas); got != want {
+				t.Fatalf("block %d case %d: SizeDeltas %d != encoded %d", block, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaSizerMatchesKeyEncoding proves the streaming sizer equals
+// the materialized DeltasFromKeys + EncodeDeltas pipeline, key by key.
+func TestDeltaSizerMatchesKeyEncoding(t *testing.T) {
+	c, err := NewCodec(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 64; trial++ {
+		n := rng.Intn(100)
+		keys := make([]uint64, 0, n)
+		cur := uint64(rng.Intn(10))
+		for len(keys) < n {
+			keys = append(keys, cur)
+			cur += 1 + uint64(rng.Intn(1<<uint(rng.Intn(20))))
+		}
+		deltas, err := DeltasFromKeys(keys)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := c.EncodeDeltas(deltas)
+
+		s := c.NewSizer()
+		for _, k := range keys {
+			if err := s.AddKey(k); err != nil {
+				t.Fatalf("trial %d: AddKey(%d): %v", trial, k, err)
+			}
+		}
+		if s.Bits() != want.Bits {
+			t.Fatalf("trial %d: sizer bits %d != encoded %d", trial, s.Bits(), want.Bits)
+		}
+		if s.Bytes() != want.Bytes() {
+			t.Fatalf("trial %d: sizer bytes %d != encoded %d", trial, s.Bytes(), want.Bytes())
+		}
+		if s.Count() != len(keys) {
+			t.Fatalf("trial %d: count %d != %d", trial, s.Count(), len(keys))
+		}
+	}
+}
+
+// TestDeltaSizerRejectsNonAscending mirrors the DeltasFromKeys contract:
+// equal or descending keys fail, and the first key may be anything.
+func TestDeltaSizerRejectsNonAscending(t *testing.T) {
+	c, err := NewCodec(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewSizer()
+	if err := s.AddKey(5); err != nil {
+		t.Fatalf("first key rejected: %v", err)
+	}
+	if err := s.AddKey(5); err == nil {
+		t.Fatal("equal key accepted")
+	}
+	s.Reset()
+	if err := s.AddKey(0); err != nil {
+		t.Fatalf("first key after Reset rejected: %v", err)
+	}
+	if s.Bits() == 0 || s.Count() != 1 {
+		t.Fatalf("post-Reset state wrong: bits %d count %d", s.Bits(), s.Count())
+	}
+	if err := s.AddKey(^uint64(0)); err != nil {
+		t.Fatalf("max key rejected: %v", err)
+	}
+	if err := s.AddKey(0); err == nil {
+		t.Fatal("descending key accepted")
+	}
+}
+
+// TestDeltaSizerReset verifies Reset produces the same totals as a fresh
+// sizer for the same stream.
+func TestDeltaSizerReset(t *testing.T) {
+	c, err := NewCodec(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{3, 9, 1000, 1001}
+	s := c.NewSizer()
+	for _, k := range keys {
+		if err := s.AddKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := s.Bytes()
+	s.Reset()
+	if s.Bits() != 0 || s.Count() != 0 {
+		t.Fatalf("Reset left state: bits %d count %d", s.Bits(), s.Count())
+	}
+	for _, k := range keys {
+		if err := s.AddKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Bytes() != first {
+		t.Fatalf("second pass %d != first %d", s.Bytes(), first)
+	}
+}
+
+// TestVarintDeltaBytes pins the LEB128 footprint at the 7-bit group
+// boundaries, including the 10-byte maximum, and checks VarintBytes and
+// the EncodeVarint pre-sizing against real encoding.
+func TestVarintDeltaBytes(t *testing.T) {
+	cases := []struct {
+		d    uint64
+		want uint64
+	}{
+		{0, 1}, {0x7f, 1}, {0x80, 2}, {0x3fff, 2}, {0x4000, 3},
+		{1 << 62, 9}, {^uint64(0) >> 1, 9}, {1 << 63, 10}, {^uint64(0), 10},
+	}
+	for _, c := range cases {
+		if got := VarintDeltaBytes(c.d); got != c.want {
+			t.Errorf("VarintDeltaBytes(%#x) = %d, want %d", c.d, got, c.want)
+		}
+		enc := EncodeVarint([]uint64{c.d})
+		if uint64(len(enc)) != c.want {
+			t.Errorf("EncodeVarint(%#x) emitted %d bytes, want %d", c.d, len(enc), c.want)
+		}
+	}
+
+	deltas := []uint64{0, 1, 0x80, ^uint64(0), 300, 1 << 40}
+	enc := EncodeVarint(deltas)
+	if VarintBytes(deltas) != uint64(len(enc)) {
+		t.Fatalf("VarintBytes %d != encoded length %d", VarintBytes(deltas), len(enc))
+	}
+	// Exact pre-sizing: append must never have regrown the buffer.
+	if uint64(cap(enc)) != VarintBytes(deltas) {
+		t.Fatalf("EncodeVarint capacity %d != exact size %d", cap(enc), VarintBytes(deltas))
+	}
+	dec, ok := DecodeVarint(enc, len(deltas))
+	if !ok {
+		t.Fatal("DecodeVarint failed")
+	}
+	for i := range deltas {
+		if dec[i] != deltas[i] {
+			t.Fatalf("delta %d: %d != %d", i, dec[i], deltas[i])
+		}
+	}
+}
+
+// TestDecodeVarintOverflowGuard drives the shift guard directly: a legal
+// 10-byte max-uint64 varint decodes, while an 11th continuation byte —
+// shift past bit 63 — is rejected rather than silently wrapped.
+func TestDecodeVarintOverflowGuard(t *testing.T) {
+	max := EncodeVarint([]uint64{^uint64(0)})
+	if len(max) != 10 {
+		t.Fatalf("max-uint64 varint is %d bytes, want 10", len(max))
+	}
+	dec, ok := DecodeVarint(max, 1)
+	if !ok || dec[0] != ^uint64(0) {
+		t.Fatalf("max-uint64 round trip failed: %v %v", dec, ok)
+	}
+	overlong := make([]byte, 11)
+	for i := 0; i < 10; i++ {
+		overlong[i] = 0x80
+	}
+	overlong[10] = 0x01
+	if _, ok := DecodeVarint(overlong, 1); ok {
+		t.Fatal("11-byte continuation chain accepted")
+	}
+}

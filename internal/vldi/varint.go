@@ -6,9 +6,10 @@ package vldi
 // widths, while varint trades density for byte alignment. The trade-off
 // is reported by the ablation-vldi experiment.
 
-// EncodeVarint packs deltas as LEB128.
+// EncodeVarint packs deltas as LEB128. The buffer is pre-sized with
+// VarintBytes, so multi-byte deltas never force append to regrow.
 func EncodeVarint(deltas []uint64) []byte {
-	out := make([]byte, 0, len(deltas))
+	out := make([]byte, 0, VarintBytes(deltas))
 	for _, d := range deltas {
 		for {
 			b := byte(d & 0x7f)
@@ -51,11 +52,7 @@ func DecodeVarint(buf []byte, count int) ([]uint64, bool) {
 func VarintBytes(deltas []uint64) uint64 {
 	var n uint64
 	for _, d := range deltas {
-		n++
-		for d >= 0x80 {
-			n++
-			d >>= 7
-		}
+		n += VarintDeltaBytes(d)
 	}
 	return n
 }

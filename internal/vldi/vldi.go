@@ -59,6 +59,13 @@ func (w *BitWriter) WriteBits(v uint64, width int) {
 // Bits returns the number of bits written.
 func (w *BitWriter) Bits() uint64 { return w.nbit }
 
+// Reset rewinds the writer to an empty stream, keeping the underlying
+// buffer capacity so steady-state encoders reuse it across calls.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
 // Bytes returns the packed buffer (last byte zero-padded).
 func (w *BitWriter) Bytes() []byte { return w.buf }
 
@@ -245,6 +252,43 @@ func (c *Codec) DecompressSparse(v CompressedVec) (*vector.Sparse, error) {
 		}
 	}
 	return s, nil
+}
+
+// RoundTripRecords encodes recs' keys as a VLDI delta stream into w
+// (reset first) and decodes the stream back, verifying each
+// reconstructed key bit-for-bit — the allocation-free equivalent of the
+// CompressSparse/DecompressSparse functional round trip for a record
+// stream whose values stay uncompressed. It errors on a non-ascending
+// key stream (same contract as DeltasFromKeys) or on any decode
+// mismatch. w provides the only scratch storage, so callers that recycle
+// the writer run the round trip with zero allocations.
+func (c *Codec) RoundTripRecords(recs []types.Record, w *BitWriter) error {
+	w.Reset()
+	var prev uint64
+	for i, r := range recs {
+		if i > 0 && r.Key <= prev {
+			return fmt.Errorf("vldi: keys not strictly ascending at %d", i)
+		}
+		delta := r.Key
+		if i > 0 {
+			delta = r.Key - prev
+		}
+		prev = r.Key
+		c.encodeDelta(w, delta)
+	}
+	r := BitReader{buf: w.Bytes(), end: w.Bits()}
+	var key uint64
+	for i := range recs {
+		delta, err := c.decodeDelta(&r)
+		if err != nil {
+			return fmt.Errorf("vldi: round trip decode at record %d: %w", i, err)
+		}
+		key += delta
+		if key != recs[i].Key {
+			return fmt.Errorf("vldi: round trip mismatch at record %d: got key %d, want %d", i, key, recs[i].Key)
+		}
+	}
+	return nil
 }
 
 // ExpectedBitsPerDelta returns the expected encoded size of one delta under
