@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments report fuzz clean
+.PHONY: all build vet lint test race cover bench experiments report serve-smoke fuzz clean
 
 all: build vet lint test race
 
@@ -44,6 +44,12 @@ report:
 		-iters 5 -damping 0.85 -overlap -workers 4 -vldi 8 -hdn 500 \
 		-report out/pagerank.report.json -prom out/pagerank.prom \
 		-trace out/pagerank.gantt.txt
+
+# End-to-end serving self-check: start spmvd on a loopback port, run
+# PageRank over HTTP, scrape /metrics, and fail unless both the served
+# ranks and the scraped ledger equal a direct engine run (DESIGN.md §10).
+serve-smoke:
+	$(GO) run ./cmd/spmvd -smoke
 
 # Short fuzz pass over the parser/codec targets plus the PRaP
 # sentinel-rejection contract.

@@ -1,0 +1,344 @@
+// Command spmvd is the SpMV serving daemon: it loads one or more
+// matrices at startup, warms a pool of Two-Step engines per matrix, and
+// serves concurrent SpMV / SpMSpV / Iterate / PageRank requests over
+// HTTP with per-request deadline and capacity admission control and a
+// bounded wait queue (429 when full, 503 on deadline, 422 over
+// capacity). The PR 3 observability surface is live: /metrics renders
+// the aggregated pool ledger in Prometheus text exposition, /healthz
+// lists the resident matrices, and any request with "report": true gets
+// a per-request JSON run report.
+//
+// Usage:
+//
+//	spmvd -addr :8080 -matrix web=er:100000:3:1 -matrix road=zipf:50000:4:2
+//	spmvd -addr :8080 -matrix g=/data/graph.mtx -pool 4 -queue 16 -deadline 2s
+//	spmvd -smoke        # self-check: serve, request, scrape, verify, exit
+//
+// Matrix specs are either a file path (MatrixMarket, MWMCOO binary, or
+// edge list — sniffed) or generator:nodes[:degree[:seed]] with
+// generator one of er, rmat, zipf.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/report"
+	"mwmerge/internal/serve"
+	"mwmerge/internal/vector"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// matrixList collects repeated -matrix name=spec flags.
+type matrixList []struct{ name, spec string }
+
+func (l *matrixList) String() string {
+	var parts []string
+	for _, m := range *l {
+		parts = append(parts, m.name+"="+m.spec)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *matrixList) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf("want name=spec, got %q", v)
+	}
+	for _, m := range *l {
+		if m.name == name {
+			return fmt.Errorf("duplicate matrix name %q", name)
+		}
+	}
+	*l = append(*l, struct{ name, spec string }{name, spec})
+	return nil
+}
+
+// parseSpec materializes one matrix spec: generator:nodes[:degree[:seed]]
+// or a file path (format sniffed like spmvrun).
+func parseSpec(spec string) (*matrix.COO, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "er", "rmat", "zipf":
+		nodes, degree, seed, err := parseGenArgs(rest)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q: %w", spec, err)
+		}
+		switch kind {
+		case "er":
+			return graph.ErdosRenyi(nodes, degree, seed)
+		case "zipf":
+			return graph.Zipf(nodes, degree, 1.8, seed)
+		default:
+			scale := uint(0)
+			for (uint64(1) << (scale + 1)) <= nodes {
+				scale++
+			}
+			return graph.RMAT(scale, degree, graph.Graph500Params(), seed)
+		}
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	head, err := br.Peek(16)
+	if err == nil && len(head) >= 8 && string(head[:8]) == "MWMCOO1\n" {
+		return matrix.ReadBinary(br)
+	}
+	if err == nil && len(head) >= 2 && string(head[:2]) == "%%" {
+		return matrix.ReadMatrixMarket(br)
+	}
+	return matrix.ReadEdgeList(br, 0)
+}
+
+func parseGenArgs(rest string) (nodes uint64, degree float64, seed int64, err error) {
+	degree, seed = 3, 1
+	fields := strings.Split(rest, ":")
+	if len(fields) < 1 || len(fields) > 3 || fields[0] == "" {
+		return 0, 0, 0, fmt.Errorf("want nodes[:degree[:seed]]")
+	}
+	if nodes, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("nodes: %w", err)
+	}
+	if len(fields) >= 2 {
+		if degree, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return 0, 0, 0, fmt.Errorf("degree: %w", err)
+		}
+	}
+	if len(fields) == 3 {
+		if seed, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+			return 0, 0, 0, fmt.Errorf("seed: %w", err)
+		}
+	}
+	return nodes, degree, seed, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spmvd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var matrices matrixList
+	fs.Var(&matrices, "matrix", "name=spec matrix to serve (repeatable); spec is a file path or er|rmat|zipf:nodes[:degree[:seed]]")
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		poolSize   = fs.Int("pool", 2, "warmed engines per matrix")
+		queue      = fs.Int("queue", 8, "bounded wait-queue depth per matrix (beyond the pool size)")
+		deadline   = fs.Duration("deadline", 0, "default per-request admission deadline (0 = none)")
+		scratchKiB = fs.Uint64("scratch", 256, "scratchpad KiB for the vector segment")
+		ways       = fs.Int("ways", 1024, "merge core ways K")
+		radix      = fs.Uint("q", 4, "PRaP radix bits (2^q merge cores)")
+		workers    = fs.Int("workers", 1, "step-1 worker goroutines per engine")
+		mergeWork  = fs.Int("merge-workers", 1, "step-2 merge goroutines per engine")
+		smoke      = fs.Bool("smoke", false, "self-check: serve a small graph, run PageRank over HTTP, verify the /metrics scrape against a direct engine run, exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *smoke {
+		return runSmoke(stdout, stderr)
+	}
+	if len(matrices) == 0 {
+		fmt.Fprintln(stderr, "spmvd: no -matrix given (try -matrix g=er:100000:3:1)")
+		return 2
+	}
+
+	cfg := core.Config{
+		ScratchpadBytes: *scratchKiB << 10,
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           8,
+		Merge:           prap.Config{Q: *radix, Ways: *ways, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: *mergeWork},
+		HBM:             mem.DefaultHBM(),
+		Workers:         *workers,
+	}
+
+	var pools []*serve.Pool
+	for _, m := range matrices {
+		a, err := parseSpec(m.spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "spmvd: matrix %s: %v\n", m.name, err)
+			return 1
+		}
+		p, err := serve.NewPool(serve.PoolConfig{Name: m.name, Matrix: a, Engine: cfg, Size: *poolSize, MaxQueue: *queue})
+		if err != nil {
+			fmt.Fprintln(stderr, "spmvd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "spmvd: %s: %dx%d, %d nonzeros, %d engines warmed\n",
+			m.name, a.Rows, a.Cols, a.NNZ(), p.Size())
+		pools = append(pools, p)
+	}
+	s, err := serve.NewServer(serve.Config{DefaultDeadline: *deadline}, pools...)
+	if err != nil {
+		fmt.Fprintln(stderr, "spmvd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "spmvd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "spmvd: listening on %s\n", ln.Addr())
+	srv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "spmvd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "spmvd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "spmvd:", err)
+		return 1
+	}
+	return 0
+}
+
+// smokeConfig is the fixed design point the smoke check runs at.
+func smokeConfig() core.Config {
+	return core.Config{
+		ScratchpadBytes: 16 << 10,
+		ValueBytes:      8,
+		MetaBytes:       8,
+		Lanes:           4,
+		Merge:           prap.Config{Q: 2, Ways: 64, FIFODepth: 4, DPage: 256, RecordBytes: 16, MergeWorkers: 2},
+		HBM:             mem.DefaultHBM(),
+		Workers:         2,
+	}
+}
+
+// runSmoke is the end-to-end self-check behind `make serve-smoke`: start
+// the daemon on a loopback port, run PageRank through HTTP, scrape
+// /metrics, and verify that the served ranks and the scraped ledger both
+// equal a direct engine run of the same workload — the serving layer may
+// add admission and pooling, but never change results or accounting.
+func runSmoke(stdout, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "spmvd smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	const (
+		nodes   = 2000
+		degree  = 4
+		seed    = 7
+		damping = 0.85
+		tol     = 1e-9
+		iters   = 20
+	)
+	a, err := graph.ErdosRenyi(nodes, degree, seed)
+	if err != nil {
+		return fail("%v", err)
+	}
+	p, err := serve.NewPool(serve.PoolConfig{Name: "smoke", Matrix: a, Engine: smokeConfig(), Size: 2, MaxQueue: 4})
+	if err != nil {
+		return fail("%v", err)
+	}
+	s, err := serve.NewServer(serve.Config{}, p)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "spmvd smoke: serving %d-node graph on %s\n", nodes, base)
+
+	// The reference: a direct engine run of the exact same workload.
+	eng, err := core.New(smokeConfig())
+	if err != nil {
+		return fail("%v", err)
+	}
+	wantY, wantIters, err := eng.PageRank(a, damping, tol, iters, false)
+	if err != nil {
+		return fail("direct engine: %v", err)
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"matrix": "smoke", "damping": damping, "tol": tol, "max_iters": iters,
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	resp, err := http.Post(base+"/v1/pagerank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail("pagerank request: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fail("pagerank response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail("pagerank status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Y          vector.Dense `json:"y"`
+		Iterations int          `json:"iterations"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return fail("pagerank decode: %v", err)
+	}
+	if out.Iterations != wantIters {
+		return fail("served %d iterations, direct engine ran %d", out.Iterations, wantIters)
+	}
+	if d := out.Y.MaxAbsDiff(wantY); d != 0 {
+		return fail("served ranks diverged from direct engine by %g", d)
+	}
+
+	scrape, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fail("scrape: %v", err)
+	}
+	scraped, err := io.ReadAll(scrape.Body)
+	scrape.Body.Close()
+	if err != nil {
+		return fail("scrape read: %v", err)
+	}
+	var want bytes.Buffer
+	if err := report.NewReport(report.Meta{Workload: "spmvd"}, eng.Counters()).WritePrometheus(&want); err != nil {
+		return fail("%v", err)
+	}
+	if !bytes.HasPrefix(scraped, want.Bytes()) {
+		return fail("scraped /metrics ledger does not match the direct engine run\n--- scraped ---\n%s--- want prefix ---\n%s", scraped, want.String())
+	}
+	if !bytes.Contains(scraped, []byte(`mwmerge_serve_requests_total{pool="smoke"} 1`)) {
+		return fail("scrape missing the serve request counter:\n%s", scraped)
+	}
+	fmt.Fprintf(stdout, "spmvd smoke: OK: %d iterations bit-identical, scraped ledger equals direct engine (%d bytes of exposition)\n",
+		out.Iterations, want.Len())
+	return 0
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+)
+
+func TestParseSpecGenerators(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes uint64
+	}{
+		{"er:1000", 1000},
+		{"er:1000:4:2", 1000},
+		{"zipf:500:3:1", 500},
+		{"rmat:1024:3:1", 1024},
+	}
+	for _, tc := range cases {
+		a, err := parseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if a.Rows != tc.nodes {
+			t.Errorf("%s: %d rows, want %d", tc.spec, a.Rows, tc.nodes)
+		}
+		if a.NNZ() == 0 {
+			t.Errorf("%s: empty graph", tc.spec)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{"er:", "er:abc", "er:10:x", "er:10:3:y", "er:10:3:1:9", "/no/such/file"} {
+		if _, err := parseSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseSpecFile(t *testing.T) {
+	m, err := graph.ErdosRenyi(400, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.WriteMatrixMarket(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := parseSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.NNZ() != m.NNZ() {
+		t.Errorf("round trip %dx%d/%d, want %dx%d/%d", got.Rows, got.Cols, got.NNZ(), m.Rows, m.Cols, m.NNZ())
+	}
+}
+
+func TestMatrixListFlag(t *testing.T) {
+	var l matrixList
+	if err := l.Set("a=er:100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("b=er:200"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("a=er:300"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	for _, bad := range []string{"noequals", "=spec", "name="} {
+		if err := l.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if s := l.String(); !strings.Contains(s, "a=er:100") || !strings.Contains(s, "b=er:200") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", ":0"}, &out, &errOut); code != 2 {
+		t.Errorf("no matrices: exit %d, want 2", code)
+	}
+	if code := run([]string{"-matrix", "g=er:"}, &out, &errOut); code != 1 {
+		t.Errorf("bad spec: exit %d, want 1", code)
+	}
+}
+
+// TestRunSmoke runs the full serve-smoke self-check: daemon up on a
+// loopback port, PageRank over HTTP, /metrics scrape verified against a
+// direct engine run.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-smoke"}, &out, &errOut); code != 0 {
+		t.Fatalf("smoke exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "smoke: OK") {
+		t.Errorf("smoke output missing OK: %s", out.String())
+	}
+}

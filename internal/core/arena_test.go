@@ -10,7 +10,7 @@ import (
 )
 
 // TestArenaReuseHammer drives one long-lived engine through interleaved
-// SpMV, Iterate (both schedules) and PageRank calls — the workload the
+// SpMV, Iterate (both schedules), PageRank and SpMSpV calls — the workload the
 // scratch arenas are recycled across — and checks every result, the
 // traffic ledger and the statistics bit-for-bit against fresh
 // single-shot engines. Results returned earlier in the sequence are
@@ -41,6 +41,7 @@ func hammerOnce(t *testing.T, workers, mergeWorkers int, seed int64) {
 		t.Fatal(err)
 	}
 	x := randomX(n, seed+100)
+	sx := sparseFrontier(t, n, 40, seed+200)
 
 	shared, err := New(cfg)
 	if err != nil {
@@ -78,6 +79,10 @@ func hammerOnce(t *testing.T, workers, mergeWorkers int, seed int64) {
 		}},
 		{"pagerank-overlap", func(e *Engine) (vector.Dense, error) {
 			y, _, err := e.PageRank(a, 0.85, 1e-9, 8, true)
+			return y, err
+		}},
+		{"spmspv", func(e *Engine) (vector.Dense, error) {
+			y, _, err := e.SpMSpV(a, sx)
 			return y, err
 		}},
 		{"spmv-again", func(e *Engine) (vector.Dense, error) {

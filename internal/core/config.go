@@ -107,3 +107,21 @@ func (c Config) SegmentWidth() uint64 {
 func (c Config) MaxDimension() uint64 {
 	return uint64(c.Merge.Ways) * c.SegmentWidth()
 }
+
+// CheckIterativeCapacity enforces the iterative-run capacity bound: ITS
+// overlap keeps two source-segment buffers resident, halving the maximum
+// dimension (paper Table 2). Iterate, PageRank, and the serving layer's
+// admission control all share this check, so an over-capacity request is
+// rejected with the same error before any work starts.
+func (c Config) CheckIterativeCapacity(dim uint64, overlap bool) error {
+	capacity := c.MaxDimension()
+	qualifier := ""
+	if overlap {
+		capacity /= 2
+		qualifier = "ITS "
+	}
+	if dim > capacity {
+		return fmt.Errorf("core: dimension %d exceeds %scapacity %d", dim, qualifier, capacity)
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ type Engine struct {
 	denseFree []vector.Dense
 	gate      *segmentGate
 	nextCh    chan step1Result
+	frontier  frontierScratch
 }
 
 // RunStats aggregates execution statistics across calls: every field
@@ -104,24 +105,58 @@ func (e *Engine) ResetCounters() {
 	e.lastSnap = report.Counters{}
 }
 
-// counters assembles the cumulative observability counter state from
-// the ledger and statistics. Read-only on both.
-func (e *Engine) counters() report.Counters {
+// Counters assembles the observability counter snapshot for a ledger and
+// statistics pair — the mapping between the engine's accounting state and
+// the report/Prometheus metrics surface (DESIGN.md §8). The serving
+// layer uses it to render aggregated pool ledgers through the same
+// exposition the per-run reports use.
+func (s RunStats) Counters(tr mem.Traffic) report.Counters {
 	return report.Counters{
-		Traffic:              e.traffic,
-		TransitionBytesSaved: e.stats.TransitionBytesSaved,
-		Products:             e.stats.Products,
-		IntermediateRecords:  e.stats.IntermediateRecords,
-		HDNRecords:           e.stats.HDN.HDNRecords,
-		HDNFalseRouted:       e.stats.HDN.FalseRouted,
-		VecCompressedBytes:   e.stats.CompressedVecBytes,
-		VecUncompressedBytes: e.stats.UncompressedVecBytes,
-		MatCompressedBytes:   e.stats.CompressedMatBytes,
-		MatUncompressedBytes: e.stats.UncompressedMatBytes,
-		MergeInjected:        e.stats.MergeStats.Injected,
-		MergeEmitted:         e.stats.MergeStats.Emitted,
+		Traffic:              tr,
+		TransitionBytesSaved: s.TransitionBytesSaved,
+		Products:             s.Products,
+		IntermediateRecords:  s.IntermediateRecords,
+		HDNRecords:           s.HDN.HDNRecords,
+		HDNFalseRouted:       s.HDN.FalseRouted,
+		VecCompressedBytes:   s.CompressedVecBytes,
+		VecUncompressedBytes: s.UncompressedVecBytes,
+		MatCompressedBytes:   s.CompressedMatBytes,
+		MatUncompressedBytes: s.UncompressedMatBytes,
+		MergeInjected:        s.MergeStats.Injected,
+		MergeEmitted:         s.MergeStats.Emitted,
 	}
 }
+
+// Add returns the component-wise sum of two statistics snapshots without
+// aliasing either operand's per-core merge slices. It is the documented
+// way to aggregate RunStats across engines — the serving layer's pool
+// ledger sums each member's Stats() through it.
+func (s RunStats) Add(o RunStats) RunStats {
+	sum := s
+	sum.MergeStats = s.MergeStats.Clone()
+	sum.MergeStats.Accumulate(o.MergeStats)
+	sum.Stripes += o.Stripes
+	sum.Products += o.Products
+	sum.IntermediateRecords += o.IntermediateRecords
+	sum.HDN.HDNRecords += o.HDN.HDNRecords
+	sum.HDN.GeneralRecords += o.HDN.GeneralRecords
+	sum.HDN.FalseRouted += o.HDN.FalseRouted
+	sum.HDNFilterBytes += o.HDNFilterBytes
+	sum.CompressedVecBytes += o.CompressedVecBytes
+	sum.UncompressedVecBytes += o.UncompressedVecBytes
+	sum.CompressedMatBytes += o.CompressedMatBytes
+	sum.UncompressedMatBytes += o.UncompressedMatBytes
+	sum.TransitionBytesSaved += o.TransitionBytesSaved
+	return sum
+}
+
+// Counters assembles the engine's cumulative observability counter state
+// from the ledger and statistics. Read-only on both; like every engine
+// method it must be called from the goroutine driving the engine.
+func (e *Engine) Counters() report.Counters { return e.stats.Counters(e.traffic) }
+
+// counters is the internal spelling used by the snapshot machinery.
+func (e *Engine) counters() report.Counters { return e.Counters() }
 
 // snapshot books the counter delta since the previous snapshot into the
 // recorder as one iteration boundary. Because every entry point
@@ -155,8 +190,16 @@ func (e *Engine) SpMV(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, error) 
 // checkSpMV validates the SpMV preconditions shared by the one-shot and
 // iterative entry points.
 func (e *Engine) checkSpMV(a *matrix.COO, x, yIn vector.Dense) error {
-	if uint64(len(x)) != a.Cols {
-		return fmt.Errorf("core: x dimension %d != %d columns", len(x), a.Cols)
+	return e.checkOperands(a, uint64(len(x)), yIn)
+}
+
+// checkOperands validates the operand dimensions against the matrix and
+// the matrix against the engine capacity. SpMV and SpMSpV both funnel
+// through here (SpMSpV with its sparse x's logical dimension), so the
+// dense and frontier paths reject bad inputs with identical errors.
+func (e *Engine) checkOperands(a *matrix.COO, xDim uint64, yIn vector.Dense) error {
+	if xDim != a.Cols {
+		return fmt.Errorf("core: x dimension %d != %d columns", xDim, a.Cols)
 	}
 	if yIn != nil && uint64(len(yIn)) != a.Rows {
 		return fmt.Errorf("core: y dimension %d != %d rows", len(yIn), a.Rows)

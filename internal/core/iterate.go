@@ -64,21 +64,12 @@ func (e *Engine) recordIteration(it int, start uint64) {
 	e.snapshot("iter")
 }
 
-// checkIterativeCapacity enforces the iterative-run capacity bound: ITS
-// overlap keeps two source-segment buffers resident, halving the
-// maximum dimension (paper Table 2). Iterate and PageRank share this
-// check so their error messages cannot drift apart.
+// checkIterativeCapacity enforces the iterative-run capacity bound.
+// Iterate and PageRank share Config.CheckIterativeCapacity so their
+// error messages cannot drift apart from each other or from the serving
+// layer's admission check.
 func (e *Engine) checkIterativeCapacity(dim uint64, overlap bool) error {
-	capacity := e.cfg.MaxDimension()
-	qualifier := ""
-	if overlap {
-		capacity /= 2
-		qualifier = "ITS "
-	}
-	if dim > capacity {
-		return fmt.Errorf("core: dimension %d exceeds %scapacity %d", dim, qualifier, capacity)
-	}
-	return nil
+	return e.cfg.CheckIterativeCapacity(dim, overlap)
 }
 
 // Iterate runs iterative SpMV. With Overlap set, the engine verifies the

@@ -153,6 +153,41 @@ func (e *Engine) putDense(d vector.Dense) {
 // buffers, the rest is slack for interleaved workloads.
 const denseFreeLimit = 4
 
+// frontierScratch recycles SpMSpV's scatter state: the per-segment dense
+// buffer headers and nonzero counts. The buffers themselves come from
+// (and return to) the engine's dense free list, so the frontier path
+// follows the same allocation discipline as the dense entry points.
+type frontierScratch struct {
+	segs []vector.Dense
+	nnz  []uint64
+}
+
+// sized prepares the scratch for n segments, clearing every slot.
+func (f *frontierScratch) sized(n int) *frontierScratch {
+	if cap(f.segs) < n {
+		f.segs = make([]vector.Dense, n)
+		f.nnz = make([]uint64, n)
+	}
+	f.segs = f.segs[:n]
+	f.nnz = f.nnz[:n]
+	for k := range f.segs {
+		f.segs[k] = nil
+		f.nnz[k] = 0
+	}
+	return f
+}
+
+// release hands the scattered segment buffers back to the dense free
+// list and drops the headers, so no segment outlives its SpMSpV call.
+func (f *frontierScratch) release(e *Engine) {
+	for k, s := range f.segs {
+		if s != nil {
+			e.putDense(s)
+			f.segs[k] = nil
+		}
+	}
+}
+
 // pipeGate returns the engine's reusable segment gate, reset to the
 // given handoff bound. The previous pipelined run joined its consumer
 // goroutine before returning, so the gate is quiescent here.

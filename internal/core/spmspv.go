@@ -5,7 +5,6 @@ import (
 
 	"mwmerge/internal/matrix"
 	"mwmerge/internal/mem"
-	"mwmerge/internal/types"
 	"mwmerge/internal/vector"
 )
 
@@ -28,78 +27,93 @@ type SpMSpVStats struct {
 // the sparse-input analogue of Two-Step's streaming discipline — and
 // within active stripes only nonzero-operand products enter the
 // intermediate vectors. Results match SpMV with the densified x exactly.
+//
+// Like the dense entry points, SpMSpV runs through the engine's plan
+// cache and scratch arenas (DESIGN.md §9): the stripe partition is
+// reused across calls against the same matrix, scatter segments come
+// from the dense free list, and the intermediate record buffers live in
+// the rotating step-1 banks. The returned y stays detached from every
+// arena.
 func (e *Engine) SpMSpV(a *matrix.COO, x *vector.Sparse) (vector.Dense, SpMSpVStats, error) {
 	var st SpMSpVStats
 	if x == nil {
 		return nil, st, fmt.Errorf("core: nil sparse vector")
 	}
-	if uint64(x.Dim) != a.Cols {
-		return nil, st, fmt.Errorf("core: x dimension %d != %d columns", x.Dim, a.Cols)
+	if err := e.checkOperands(a, uint64(x.Dim), nil); err != nil {
+		return nil, st, err
 	}
 	if err := x.Validate(); err != nil {
 		return nil, st, err
 	}
-	if a.Rows > e.cfg.MaxDimension() {
-		return nil, st, fmt.Errorf("core: dimension %d exceeds engine capacity %d", a.Rows, e.cfg.MaxDimension())
-	}
 
-	width := e.cfg.SegmentWidth()
-	stripes, err := matrix.Partition1D(a, width)
+	plan, err := e.planFor(a)
 	if err != nil {
 		return nil, st, err
 	}
-	if len(stripes) > e.cfg.Merge.Ways {
-		return nil, st, fmt.Errorf("core: %d stripes exceed %d merge ways", len(stripes), e.cfg.Merge.Ways)
-	}
+	stripes := plan.stripes
+	width := e.cfg.SegmentWidth()
 	st.SegmentsTotal = len(stripes)
 	e.stats.Stripes += len(stripes)
 
-	// Scatter x nonzeros into per-segment dense buffers; segments with
-	// none stay nil.
-	segs := make([]vector.Dense, len(stripes))
-	segNNZ := make([]uint64, len(stripes))
+	// Scatter x nonzeros into per-segment dense buffers drawn from the
+	// engine's free list (zeroed — free-list contents are unspecified);
+	// segments with none stay nil.
+	fr := e.frontier.sized(len(stripes))
 	for _, r := range x.Recs {
 		k := int(r.Key / width)
-		if segs[k] == nil {
-			segs[k] = vector.NewDense(int(stripes[k].Width))
+		if fr.segs[k] == nil {
+			seg := e.getDense(int(stripes[k].Width))
+			seg.Zero()
+			fr.segs[k] = seg
 		}
-		segs[k][r.Key-stripes[k].ColStart] = r.Val
-		segNNZ[k]++
+		fr.segs[k][r.Key-stripes[k].ColStart] = r.Val
+		fr.nnz[k]++
 	}
 
-	lists := make([][]types.Record, len(stripes))
+	bank := e.nextBank()
+	bank.sized(len(stripes))
+	lists := bank.lists
 	for k, s := range stripes {
-		if segs[k] == nil {
+		lists[k] = nil
+		if fr.segs[k] == nil {
 			continue // inactive: zero traffic, zero work
 		}
 		st.SegmentsActive++
 		// Only the x nonzeros stream on chip for a sparse vector.
-		e.charge(mem.Traffic{SourceVectorBytes: segNNZ[k] * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)})
+		e.charge(mem.Traffic{SourceVectorBytes: fr.nnz[k] * uint64(e.cfg.MetaBytes+e.cfg.ValueBytes)})
 
-		v := vector.NewSparse(int(s.Rows), s.NNZ())
+		scr := &bank.stripes[k]
+		scr.v = vector.Sparse{Dim: int(s.Rows), Recs: scr.recsFor(s.NNZ())}
+		visitedBefore := st.EntriesVisited
 		for _, ent := range s.Entries {
-			xv := segs[k][ent.Col]
+			xv := fr.segs[k][ent.Col]
 			if xv == 0 {
 				st.EntriesSkipped++
 				continue
 			}
 			st.EntriesVisited++
-			if err := v.Accumulate(ent.Row, ent.Val*xv); err != nil {
+			if err := scr.v.Accumulate(ent.Row, ent.Val*xv); err != nil {
+				fr.release(e)
 				return nil, st, err
 			}
 		}
-		e.stats.Products += st.EntriesVisited
-		e.stats.IntermediateRecords += uint64(v.NNZ())
+		// Each stripe contributes only its own visited-entry delta;
+		// adding the cumulative count would overcount every stripe after
+		// the first.
+		e.stats.Products += st.EntriesVisited - visitedBefore
+		e.stats.IntermediateRecords += uint64(scr.v.NNZ())
 
 		nnz := uint64(s.NNZ())
 		_, metaBytes := matrix.BestStripeFormat(s.Rows, nnz, e.cfg.MetaBytes)
 		e.charge(mem.Traffic{MatrixBytes: nnz*uint64(e.cfg.ValueBytes) + metaBytes})
-		b, comp, uncomp := e.vecBytes(v.Recs)
+		b, comp, uncomp := e.vecBytes(scr.v.Recs)
 		e.charge(mem.Traffic{IntermediateWrite: b})
 		e.stats.CompressedVecBytes += comp
 		e.stats.UncompressedVecBytes += uncomp
-		lists[k] = v.Recs
+		lists[k] = scr.v.Recs
 	}
+	// The scatter segments are dead once the stripe loop finishes.
+	fr.release(e)
 
 	y, err := e.runStep2(lists, a.Rows, nil)
 	if err != nil {

@@ -89,6 +89,65 @@ func TestSpMSpVSkippedOperandAccounting(t *testing.T) {
 	}
 }
 
+// TestSpMSpVProductsMatchVisited pins the per-stripe Products
+// accounting: the engine statistic must equal the call's EntriesVisited
+// exactly. Before the fix each stripe added the *cumulative* visited
+// count, so any input with nonzeros in two or more stripes overcounted
+// (stripe 0 contributed v0, stripe 1 contributed v0+v1, ...); the
+// frontier below activates at least three of the four stripes to make
+// the overcount unmissable.
+func TestSpMSpVProductsMatchVisited(t *testing.T) {
+	e, _ := New(testConfig()) // segment width 128
+	a, err := graph.ErdosRenyi(512, 6, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx := vector.NewSparse(512, 8)
+	// Two nonzeros in each of stripes 0, 1, 2, 3.
+	for _, k := range []uint64{3, 70, 130, 200, 300, 370, 400, 500} {
+		if err := sx.Append(types.Record{Key: k, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, st, err := e.SpMSpV(a, sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsActive < 3 {
+		t.Fatalf("test needs >=3 active stripes, got %d", st.SegmentsActive)
+	}
+	if got := e.Stats().Products; got != st.EntriesVisited {
+		t.Errorf("Stats().Products = %d, want EntriesVisited = %d", got, st.EntriesVisited)
+	}
+}
+
+// TestSpMSpVErrorsMatchSpMV pins the unified validation: the frontier
+// path must reject bad inputs with exactly the strings the dense path
+// uses, so the two can never drift apart again.
+func TestSpMSpVErrorsMatchSpMV(t *testing.T) {
+	e, _ := New(testConfig()) // capacity 64 ways x 128 = 8192
+	over := graph.Diagonal(10000, 1)
+
+	_, wantCapErr := e.SpMV(over, vector.NewDense(10000), nil)
+	_, _, gotCapErr := e.SpMSpV(over, vector.NewSparse(10000, 0))
+	if wantCapErr == nil || gotCapErr == nil {
+		t.Fatal("over-capacity input accepted")
+	}
+	if gotCapErr.Error() != wantCapErr.Error() {
+		t.Errorf("capacity errors differ:\nSpMV   %q\nSpMSpV %q", wantCapErr, gotCapErr)
+	}
+
+	a := graph.Diagonal(100, 1)
+	_, wantDimErr := e.SpMV(a, vector.NewDense(50), nil)
+	_, _, gotDimErr := e.SpMSpV(a, vector.NewSparse(50, 0))
+	if wantDimErr == nil || gotDimErr == nil {
+		t.Fatal("wrong-dimension input accepted")
+	}
+	if gotDimErr.Error() != wantDimErr.Error() {
+		t.Errorf("dimension errors differ:\nSpMV   %q\nSpMSpV %q", wantDimErr, gotDimErr)
+	}
+}
+
 func TestSpMSpVValidation(t *testing.T) {
 	e, _ := New(testConfig())
 	a := graph.Diagonal(100, 1)

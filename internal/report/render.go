@@ -115,6 +115,15 @@ type Report struct {
 // arithmetic form, for tests that compare against an engine's ledger.
 func (rep *Report) TotalCounters() Counters { return rep.totals }
 
+// NewReport assembles a report directly from an aggregated counter
+// snapshot, without a recorder: no span lanes, no iteration axis, just
+// the totals. The serving layer renders live pool ledgers and
+// per-request counter deltas through it, reusing the exact JSON and
+// Prometheus expositions of the recorded reports.
+func NewReport(meta Meta, totals Counters) *Report {
+	return &Report{Meta: meta, Totals: countersJSON(totals), totals: totals}
+}
+
 // Build assembles the report: per-lane busy time and utilization over
 // the recorded makespan, the iteration snapshots in record order, and
 // totals as the exact sum of the per-iteration deltas.

@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/report"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// Config parameterizes the HTTP server around a set of pools.
+type Config struct {
+	// DefaultDeadline bounds a request that carries no deadline_ms of
+	// its own; 0 leaves such requests unbounded.
+	DefaultDeadline time.Duration
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// Server mounts the serving endpoints over one or more matrix pools:
+//
+//	POST /v1/spmv      {"matrix","x","y_in"?,...}        → {"y",...}
+//	POST /v1/spmspv    {"matrix","keys","vals",...}      → {"y","spmspv_stats",...}
+//	POST /v1/iterate   {"matrix","x0","iterations",...}  → {"y","iterations",...}
+//	POST /v1/pagerank  {"matrix","damping","tol",...}    → {"y","iterations",...}
+//	GET  /metrics                                        → aggregated pool ledger (Prometheus)
+//	GET  /healthz                                        → pool inventory
+//
+// Every compute request accepts "deadline_ms" (admission deadline) and
+// "report": true (a per-request counter-delta run report in the
+// response). Admission rejections are explicit and happen before any
+// engine work: 429 when the bounded queue is full, 503 when the
+// deadline expires while queued, 422 when the request exceeds the
+// engine capacity (e.g. ITS overlap on a too-large matrix).
+type Server struct {
+	cfg   Config
+	pools map[string]*Pool
+	names []string
+	mux   *http.ServeMux
+
+	mu          sync.Mutex
+	served      uint64
+	rejQueue    uint64
+	rejDeadline uint64
+	rejCapacity uint64
+}
+
+// NewServer assembles a server over the given pools.
+func NewServer(cfg Config, pools ...*Pool) (*Server, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("serve: server needs at least one pool")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{cfg: cfg, pools: make(map[string]*Pool), mux: http.NewServeMux()}
+	for _, p := range pools {
+		if _, dup := s.pools[p.name]; dup {
+			return nil, fmt.Errorf("serve: duplicate pool %q", p.name)
+		}
+		s.pools[p.name] = p
+		s.names = append(s.names, p.name)
+	}
+	sort.Strings(s.names)
+	s.mux.HandleFunc("POST /v1/spmv", s.handleSpMV)
+	s.mux.HandleFunc("POST /v1/spmspv", s.handleSpMSpV)
+	s.mux.HandleFunc("POST /v1/iterate", s.handleIterate)
+	s.mux.HandleFunc("POST /v1/pagerank", s.handlePageRank)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pools returns the mounted pools in name order.
+func (s *Server) Pools() []*Pool {
+	out := make([]*Pool, 0, len(s.names))
+	for _, n := range s.names {
+		out = append(out, s.pools[n])
+	}
+	return out
+}
+
+// requestCommon carries the fields every compute request shares.
+type requestCommon struct {
+	Matrix     string `json:"matrix"`
+	DeadlineMS int64  `json:"deadline_ms"`
+	Report     bool   `json:"report"`
+}
+
+type spmvRequest struct {
+	requestCommon
+	X   []float64 `json:"x"`
+	YIn []float64 `json:"y_in"`
+}
+
+type spmspvRequest struct {
+	requestCommon
+	// Keys/Vals are the sparse frontier in strictly ascending key order.
+	Keys []uint64  `json:"keys"`
+	Vals []float64 `json:"vals"`
+}
+
+type iterateRequest struct {
+	requestCommon
+	X0         []float64 `json:"x0"`
+	Iterations int       `json:"iterations"`
+	Overlap    bool      `json:"overlap"`
+	Damping    float64   `json:"damping"`
+}
+
+type pagerankRequest struct {
+	requestCommon
+	Damping  float64 `json:"damping"`
+	Tol      float64 `json:"tol"`
+	MaxIters int     `json:"max_iters"`
+	Overlap  bool    `json:"overlap"`
+}
+
+// spmspvStatsJSON is the stable JSON shape of core.SpMSpVStats.
+type spmspvStatsJSON struct {
+	SegmentsTotal  int    `json:"segments_total"`
+	SegmentsActive int    `json:"segments_active"`
+	EntriesVisited uint64 `json:"entries_visited"`
+	EntriesSkipped uint64 `json:"entries_skipped"`
+}
+
+// response is the JSON body of every successful compute request.
+type response struct {
+	Y          []float64        `json:"y"`
+	Iterations int              `json:"iterations,omitempty"`
+	Frontier   *spmspvStatsJSON `json:"spmspv_stats,omitempty"`
+	// Report is the per-request counter-delta run report, present when
+	// the request asked for one.
+	Report *report.Report `json:"report,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decode reads the request body into dst, rejecting oversized bodies
+// and malformed JSON with 400.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "serve: bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// run applies the admission pipeline — pool lookup, capacity check,
+// deadline budget, bounded-queue engine checkout — and executes fn on
+// the checked-out engine. Every rejection happens before fn runs.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, common requestCommon, op string, overlap bool, fn func(eng *core.Engine) (*response, error)) {
+	p := s.pools[common.Matrix]
+	if p == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("serve: unknown matrix %q", common.Matrix))
+		return
+	}
+	if common.DeadlineMS < 0 {
+		httpError(w, http.StatusBadRequest, "serve: negative deadline_ms")
+		return
+	}
+	if err := p.CheckCapacity(overlap); err != nil {
+		s.bump(&s.rejCapacity)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if d := s.deadlineFor(common.DeadlineMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	var resp *response
+	err := p.Do(ctx, func(eng *core.Engine) error {
+		var before report.Counters
+		if common.Report {
+			before = eng.Counters()
+		}
+		var err error
+		resp, err = fn(eng)
+		if err != nil {
+			return err
+		}
+		if common.Report {
+			resp.Report = report.NewReport(report.Meta{
+				Workload:     "serve:" + op + " matrix=" + p.name,
+				Rows:         p.a.Rows,
+				Cols:         p.a.Cols,
+				NNZ:          uint64(p.a.NNZ()),
+				Workers:      p.cfg.Workers,
+				MergeWorkers: p.cfg.Merge.MergeWorkers,
+				MergeCores:   p.cfg.Merge.Cores(),
+				Overlap:      overlap,
+			}, eng.Counters().Sub(before))
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.bump(&s.rejQueue)
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDeadline):
+		s.bump(&s.rejDeadline)
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		// Engine validation errors: the request's data did not fit the
+		// resident matrix.
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		s.bump(&s.served)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// deadlineFor resolves a request's admission budget.
+func (s *Server) deadlineFor(deadlineMS int64) time.Duration {
+	if deadlineMS > 0 {
+		return time.Duration(deadlineMS) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
+}
+
+func (s *Server) bump(counter *uint64) {
+	s.mu.Lock()
+	*counter++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
+	var req spmvRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.run(w, r, req.requestCommon, "spmv", false, func(eng *core.Engine) (*response, error) {
+		y, err := eng.SpMV(s.pools[req.Matrix].a, req.X, req.YIn)
+		if err != nil {
+			return nil, err
+		}
+		return &response{Y: y}, nil
+	})
+}
+
+func (s *Server) handleSpMSpV(w http.ResponseWriter, r *http.Request) {
+	var req spmspvRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Keys) != len(req.Vals) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("serve: %d keys vs %d vals", len(req.Keys), len(req.Vals)))
+		return
+	}
+	s.run(w, r, req.requestCommon, "spmspv", false, func(eng *core.Engine) (*response, error) {
+		a := s.pools[req.Matrix].a
+		sx := vector.NewSparse(int(a.Cols), len(req.Keys))
+		for i, k := range req.Keys {
+			if err := sx.Append(types.Record{Key: k, Val: req.Vals[i]}); err != nil {
+				return nil, err
+			}
+		}
+		y, st, err := eng.SpMSpV(a, sx)
+		if err != nil {
+			return nil, err
+		}
+		return &response{Y: y, Frontier: &spmspvStatsJSON{
+			SegmentsTotal:  st.SegmentsTotal,
+			SegmentsActive: st.SegmentsActive,
+			EntriesVisited: st.EntriesVisited,
+			EntriesSkipped: st.EntriesSkipped,
+		}}, nil
+	})
+}
+
+func (s *Server) handleIterate(w http.ResponseWriter, r *http.Request) {
+	var req iterateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.run(w, r, req.requestCommon, "iterate", req.Overlap, func(eng *core.Engine) (*response, error) {
+		res, err := eng.Iterate(s.pools[req.Matrix].a, req.X0, core.IterateOptions{
+			Iterations: req.Iterations,
+			Overlap:    req.Overlap,
+			Damping:    req.Damping,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &response{Y: res.X, Iterations: res.Iterations}, nil
+	})
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
+	var req pagerankRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Damping == 0 {
+		req.Damping = 0.85
+	}
+	if req.Tol == 0 {
+		req.Tol = 1e-9
+	}
+	if req.MaxIters == 0 {
+		req.MaxIters = 50
+	}
+	s.run(w, r, req.requestCommon, "pagerank", req.Overlap, func(eng *core.Engine) (*response, error) {
+		ranks, iters, err := eng.PageRank(s.pools[req.Matrix].a, req.Damping, req.Tol, req.MaxIters, req.Overlap)
+		if err != nil {
+			return nil, err
+		}
+		return &response{Y: ranks, Iterations: iters}, nil
+	})
+}
+
+// AggregatedLedger sums every pool's published ledger — the counter
+// state /metrics renders. Exposed so callers (tests, the smoke check)
+// can compare a scrape against the exact expected exposition.
+func (s *Server) AggregatedLedger() report.Counters {
+	var c report.Counters
+	for _, name := range s.names {
+		pc, _, _ := s.pools[name].Ledger()
+		c = c.Add(pc)
+	}
+	return c
+}
+
+// handleMetrics renders the aggregated pool ledger in the Prometheus
+// text exposition the run reports use, followed by the serving layer's
+// own request/rejection gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.AggregatedLedger()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rep := report.NewReport(report.Meta{Workload: "spmvd"}, c)
+	if err := rep.WritePrometheus(w); err != nil {
+		return
+	}
+	s.mu.Lock()
+	served, rq, rd, rc := s.served, s.rejQueue, s.rejDeadline, s.rejCapacity
+	s.mu.Unlock()
+	fmt.Fprintf(w, "# HELP mwmerge_serve_requests_total Completed compute requests by pool.\n# TYPE mwmerge_serve_requests_total counter\n")
+	for _, name := range s.names {
+		_, _, n := s.pools[name].Ledger()
+		fmt.Fprintf(w, "mwmerge_serve_requests_total{pool=%q} %d\n", name, n)
+	}
+	fmt.Fprintf(w, "# HELP mwmerge_serve_served_total Requests answered 200.\n# TYPE mwmerge_serve_served_total counter\nmwmerge_serve_served_total %d\n", served)
+	fmt.Fprintf(w, "# HELP mwmerge_serve_rejected_total Admission rejections by reason.\n# TYPE mwmerge_serve_rejected_total counter\n")
+	fmt.Fprintf(w, "mwmerge_serve_rejected_total{reason=\"queue_full\"} %d\n", rq)
+	fmt.Fprintf(w, "mwmerge_serve_rejected_total{reason=\"deadline\"} %d\n", rd)
+	fmt.Fprintf(w, "mwmerge_serve_rejected_total{reason=\"capacity\"} %d\n", rc)
+	fmt.Fprintf(w, "# HELP mwmerge_serve_pool_engines Warmed engines per pool.\n# TYPE mwmerge_serve_pool_engines gauge\n")
+	for _, name := range s.names {
+		fmt.Fprintf(w, "mwmerge_serve_pool_engines{pool=%q} %d\n", name, s.pools[name].Size())
+	}
+}
+
+// healthPool is one pool's row in the /healthz inventory.
+type healthPool struct {
+	Matrix   string `json:"matrix"`
+	Rows     uint64 `json:"rows"`
+	Cols     uint64 `json:"cols"`
+	NNZ      uint64 `json:"nnz"`
+	Engines  int    `json:"engines"`
+	Requests uint64 `json:"requests"`
+}
+
+type healthResponse struct {
+	Status string       `json:"status"`
+	Pools  []healthPool `json:"pools"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok"}
+	for _, name := range s.names {
+		p := s.pools[name]
+		_, _, n := p.Ledger()
+		resp.Pools = append(resp.Pools, healthPool{
+			Matrix:   name,
+			Rows:     p.a.Rows,
+			Cols:     p.a.Cols,
+			NNZ:      uint64(p.a.NNZ()),
+			Engines:  p.Size(),
+			Requests: n,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,235 @@
+// Package serve is the SpMV-as-a-service layer: a warmed pool of
+// Two-Step engines per resident matrix, request admission control
+// (capacity, deadline, bounded queue depth), and the HTTP surface the
+// spmvd daemon mounts. The concurrency story is the pool, not a shared
+// engine: each core.Engine's scratch state is confined to the goroutine
+// driving its public methods, so a request checks an engine out, runs on
+// it exclusively, and returns it. Engines publish their cumulative
+// ledger/statistics on every return, and the pool's aggregated ledger —
+// the sum of those published snapshots — is rendered live on /metrics
+// through the same Prometheus exposition the run reports use.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/report"
+	"mwmerge/internal/vector"
+)
+
+// Admission errors. The HTTP layer maps them to distinct status codes
+// (429 and 503); both reject the request before any engine work starts.
+var (
+	// ErrQueueFull reports that every engine is busy and the bounded
+	// wait queue is at capacity.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrDeadline reports that the request's deadline expired before an
+	// engine became available.
+	ErrDeadline = errors.New("serve: deadline exceeded before work started")
+)
+
+// PoolConfig describes one matrix pool.
+type PoolConfig struct {
+	// Name is the identifier requests address the matrix by.
+	Name string
+	// Matrix is the resident operand; the pool treats it as immutable,
+	// which is what lets every member cache its plan across requests.
+	Matrix *matrix.COO
+	// Engine parameterizes every pool member. Engine.Recorder must be
+	// nil: recorders are per-run, and the pool's observability surface
+	// is the published ledger instead.
+	Engine core.Config
+	// Size is the number of warmed engines (default 1). It bounds the
+	// requests served concurrently against this matrix.
+	Size int
+	// MaxQueue bounds how many requests may wait for an engine beyond
+	// the Size already being served; further requests are rejected with
+	// ErrQueueFull. 0 rejects as soon as every engine is busy.
+	MaxQueue int
+}
+
+// member is one pool engine plus its last published accounting snapshot.
+// The engine itself is only ever touched by the goroutine that checked
+// it out; the snapshot is the cross-goroutine view, updated under mu at
+// every return, so aggregation never races with an in-flight request.
+type member struct {
+	eng *core.Engine
+
+	mu        sync.Mutex
+	published snapshot
+}
+
+// snapshot is the published accounting state of one member: cumulative
+// counters and statistics over its completed requests.
+type snapshot struct {
+	counters report.Counters
+	stats    core.RunStats
+	requests uint64
+}
+
+// publish refreshes the member's snapshot from its engine. Called by the
+// goroutine holding the engine, immediately before returning it.
+func (m *member) publish() {
+	snap := snapshot{
+		counters: m.eng.Counters(),
+		stats:    m.eng.Stats(),
+		requests: m.published.requests + 1,
+	}
+	m.mu.Lock()
+	m.published = snap
+	m.mu.Unlock()
+}
+
+// Pool is a warmed, fixed-size set of engines serving one matrix.
+type Pool struct {
+	name    string
+	a       *matrix.COO
+	cfg     core.Config
+	members []*member
+	idle    chan *member
+	waiting chan struct{} // queue tokens; capacity = MaxQueue
+}
+
+// NewPool builds and warms a pool: every member runs one SpMV against
+// the resident matrix so its plan cache, detector, and scratch arenas
+// are hot, then resets its counters so the serving ledger starts at
+// zero. The warm-up doubles as admission-time validation — a matrix the
+// engines cannot serve fails here, not on the first request.
+func NewPool(pc PoolConfig) (*Pool, error) {
+	if pc.Name == "" {
+		return nil, fmt.Errorf("serve: pool needs a name")
+	}
+	if pc.Matrix == nil {
+		return nil, fmt.Errorf("serve: pool %q needs a matrix", pc.Name)
+	}
+	if pc.Engine.Recorder != nil {
+		return nil, fmt.Errorf("serve: pool %q: per-engine recorders are not supported; scrape /metrics instead", pc.Name)
+	}
+	size := pc.Size
+	if size < 1 {
+		size = 1
+	}
+	if pc.MaxQueue < 0 {
+		return nil, fmt.Errorf("serve: pool %q: negative queue depth", pc.Name)
+	}
+	p := &Pool{
+		name:    pc.Name,
+		a:       pc.Matrix,
+		cfg:     pc.Engine,
+		idle:    make(chan *member, size),
+		waiting: make(chan struct{}, pc.MaxQueue),
+	}
+	warmX := vector.NewDense(int(pc.Matrix.Cols))
+	for i := 0; i < size; i++ {
+		eng, err := core.New(pc.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("serve: pool %q: %w", pc.Name, err)
+		}
+		if _, err := eng.SpMV(pc.Matrix, warmX, nil); err != nil {
+			return nil, fmt.Errorf("serve: pool %q warm-up: %w", pc.Name, err)
+		}
+		eng.ResetCounters()
+		m := &member{eng: eng}
+		p.members = append(p.members, m)
+		p.idle <- m
+	}
+	return p, nil
+}
+
+// Name returns the pool's matrix identifier.
+func (p *Pool) Name() string { return p.name }
+
+// Matrix returns the resident matrix. Callers must not mutate it.
+func (p *Pool) Matrix() *matrix.COO { return p.a }
+
+// Config returns the pool members' engine configuration.
+func (p *Pool) Config() core.Config { return p.cfg }
+
+// Size returns the number of engines in the pool.
+func (p *Pool) Size() int { return len(p.members) }
+
+// acquire checks an engine out: immediately when one is idle, otherwise
+// by taking a bounded queue slot and waiting until an engine returns or
+// the context expires. Both rejection paths fire before any work starts.
+func (p *Pool) acquire(ctx context.Context) (*member, error) {
+	select {
+	case m := <-p.idle:
+		if ctx.Err() != nil {
+			p.idle <- m
+			return nil, ErrDeadline
+		}
+		return m, nil
+	default:
+	}
+	select {
+	case p.waiting <- struct{}{}:
+	default:
+		return nil, ErrQueueFull
+	}
+	defer func() { <-p.waiting }()
+	select {
+	case m := <-p.idle:
+		if ctx.Err() != nil {
+			p.idle <- m
+			return nil, ErrDeadline
+		}
+		return m, nil
+	case <-ctx.Done():
+		return nil, ErrDeadline
+	}
+}
+
+// release publishes the member's accounting and returns it to the pool.
+func (p *Pool) release(m *member) {
+	m.publish()
+	p.idle <- m
+}
+
+// Do checks out a warmed engine, runs fn on it exclusively, publishes
+// the engine's cumulative ledger, and returns it to the pool. fn must
+// not retain the engine (or internal buffers other than returned
+// results, which every engine entry point detaches) past its return.
+// Admission failures surface as ErrQueueFull or ErrDeadline without an
+// engine ever being touched.
+func (p *Pool) Do(ctx context.Context, fn func(eng *core.Engine) error) error {
+	m, err := p.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer p.release(m)
+	return fn(m.eng)
+}
+
+// CheckCapacity is the pool's admission-time capacity check: the shared
+// core.Config.CheckIterativeCapacity semantics applied to the resident
+// matrix, so an over-capacity request (e.g. ITS overlap halving the
+// bound) is rejected before an engine is acquired, with exactly the
+// error the engine itself would return.
+func (p *Pool) CheckCapacity(overlap bool) error {
+	return p.cfg.CheckIterativeCapacity(p.a.Rows, overlap)
+}
+
+// Ledger returns the aggregated pool ledger — the component-wise sum of
+// every member's last published counters and statistics — plus the
+// number of completed requests. In-flight requests are invisible until
+// their engine returns, so the aggregate is always a consistent sum of
+// whole requests.
+func (p *Pool) Ledger() (report.Counters, core.RunStats, uint64) {
+	var c report.Counters
+	var st core.RunStats
+	var n uint64
+	for _, m := range p.members {
+		m.mu.Lock()
+		snap := m.published
+		m.mu.Unlock()
+		c = c.Add(snap.counters)
+		st = st.Add(snap.stats)
+		n += snap.requests
+	}
+	return c, st, n
+}
