@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments report serve-smoke fuzz clean
+.PHONY: all build vet lint lint-baseline test race cover bench experiments report serve-smoke fuzz clean
 
 all: build vet lint test race
 
@@ -12,11 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: the six invariant analyzers
+# Project-specific static analysis: the ten invariant analyzers
 # (determinism, statsalias, sentinel, ledgerdiscipline,
-# goroutinecapture, pkgdoc) over the whole module. See DESIGN.md §7.
+# goroutinecapture, densewrite, pkgdoc, allocfree, poolconfine,
+# locksnapshot) over the whole module, diffed against the checked-in
+# baseline so only fresh findings fail. Also writes out/lint.sarif for
+# CI artifact upload. See DESIGN.md §7.
 lint:
-	$(GO) run ./cmd/spmvlint -C .
+	@mkdir -p out
+	$(GO) run ./cmd/spmvlint -C . -baseline lint.baseline -sarif out/lint.sarif
+
+# Regenerate the accepted-findings baseline from the current tree.
+lint-baseline:
+	$(GO) run ./cmd/spmvlint -C . -baseline lint.baseline -write-baseline
 
 test:
 	$(GO) test ./...

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestSelfLintClean is the `make lint` contract: the suite runs all
-// seven analyzers over the whole module and must come back clean.
+// TestSelfLintClean is the `make lint` contract: the suite runs all ten
+// analyzers over the whole module and must come back clean without any
+// baseline assistance.
 func TestSelfLintClean(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-C", "../.."}, &out, &errOut); code != 0 {
@@ -22,10 +26,85 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "statsalias", "sentinel", "ledgerdiscipline", "goroutinecapture", "densewrite"} {
+	for _, name := range []string{"determinism", "statsalias", "sentinel", "ledgerdiscipline", "goroutinecapture", "densewrite", "pkgdoc", "allocfree", "poolconfine", "locksnapshot"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestSARIFReport checks the -sarif mode emits a parseable 2.1.0 log
+// with one rule per analyzer.
+func TestSARIFReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.sarif")
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-sarif", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "spmvlint" {
+		t.Fatalf("unexpected SARIF shape: %s", data)
+	}
+	if got := len(log.Runs[0].Tool.Driver.Rules); got != 10 {
+		t.Errorf("SARIF rules = %d, want 10", got)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("self-lint SARIF has %d results, want 0", len(log.Runs[0].Results))
+	}
+}
+
+// TestBaselineRoundTrip checks -write-baseline then -baseline filters
+// the exact findings it recorded, and that an unrelated baseline does
+// not suppress anything.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-baseline", base, "-write-baseline"}, &out, &errOut); code != 0 {
+		t.Fatalf("-write-baseline exit %d:\n%s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "../..", "-baseline", base}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined lint exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+
+	// A baseline naming a nonexistent finding must not mask fresh ones:
+	// the filter is by exact entry, so everything else still reports.
+	if err := os.WriteFile(base, []byte("fake.go [determinism] not real\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "../..", "-baseline", base}, &out, &errOut); code != 0 {
+		t.Fatalf("lint with stale baseline exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestWriteBaselineNeedsPath keeps the flag pairing loud.
+func TestWriteBaselineNeedsPath(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-write-baseline"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for -write-baseline without -baseline, want 2", code)
 	}
 }
 

@@ -292,6 +292,7 @@ func (e *Engine) planStripes(a *matrix.COO) ([]*matrix.Stripe, error) {
 func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn.Detector, gate *segmentGate, bank *stripeBank) {
 	bank.sized(len(stripes))
 	outcomes := bank.outcomes
+	//lint:allow allocfree per-iteration worker closure, counted in the DESIGN.md §9 alloc budget
 	run := func(w, k int) {
 		if gate != nil {
 			if err := gate.wait(k); err != nil {
@@ -321,9 +322,11 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 		}
 	} else {
 		var wg sync.WaitGroup
+		//lint:allow allocfree per-iteration fan-out channel, counted in the DESIGN.md §9 alloc budget
 		work := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//lint:allow allocfree per-iteration worker goroutine closure, counted in the DESIGN.md §9 alloc budget
 			go func(w int) {
 				defer wg.Done()
 				for k := range work {
@@ -385,26 +388,29 @@ func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det
 	return e.processStripe(s, x, det, scr)
 }
 
+// processStripeFresh is processStripe with a throwaway scratch slot.
+// The one-shot paths (SpMVStripes, SpMVSliced) allocate per stripe
+// instead of recycling a bank slot; keeping that mode out of
+// processStripe itself means the steady-state call graph never reaches
+// the allocating constructors, which is what lets spmvlint's allocfree
+// analyzer pin the iteration loop.
+func (e *Engine) processStripeFresh(s *matrix.Stripe, x vector.Dense, det *hdn.Detector) stripeOutcome {
+	var scr stripeScratch
+	return e.processStripe(s, x, det, &scr)
+}
+
 // processStripe runs step 1 for one stripe and computes its full
 // accounting without touching engine state beyond scr, the stripe's
-// recycled scratch slot (nil forces fresh allocations — the one-shot
-// paths SpMVSliced/SpMVStripes use that mode).
+// recycled scratch slot.
 func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch) stripeOutcome {
 	var out stripeOutcome
 	xSeg := x[s.ColStart : s.ColStart+s.Width]
 	// x segment streamed into the scratchpad once per stripe.
 	out.traffic.SourceVectorBytes += s.Width * uint64(e.cfg.ValueBytes)
 
-	var v *vector.Sparse
-	var st Step1Stats
-	var err error
-	if scr != nil {
-		scr.v = vector.Sparse{Dim: int(s.Rows), Recs: scr.recsFor(s.NNZ())}
-		v = &scr.v
-		st, err = step1Into(v, s, xSeg, det)
-	} else {
-		v, st, err = step1(s, xSeg, det)
-	}
+	scr.v = vector.Sparse{Dim: int(s.Rows), Recs: scr.recsFor(s.NNZ())}
+	v := &scr.v
+	st, err := step1Into(v, s, xSeg, det)
 	if err != nil {
 		out.err = err
 		return out
@@ -432,24 +438,13 @@ func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detect
 	if e.cfg.VectorCodec != nil {
 		// Functional round trip through the codec proves the compressed
 		// stream reconstructs exactly. The codec is lossless, so the
-		// scratch path verifies in place (zero allocations) instead of
-		// materializing the decompressed copy.
-		if scr != nil {
-			if err := e.cfg.VectorCodec.RoundTripRecords(v.Recs, &scr.bw); err != nil {
-				out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
-				return out
-			}
-		} else {
-			cv, err := e.cfg.VectorCodec.CompressSparse(v, e.cfg.ValueBytes)
-			if err != nil {
-				out.err = err
-				return out
-			}
-			v, err = e.cfg.VectorCodec.DecompressSparse(cv)
-			if err != nil {
-				out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
-				return out
-			}
+		// verification runs in place (zero allocations) instead of
+		// materializing the decompressed copy; values are stored
+		// uncompressed, so key-exact reconstruction is bit-identical to
+		// the CompressSparse/DecompressSparse materializing round trip.
+		if err := e.cfg.VectorCodec.RoundTripRecords(v.Recs, &scr.bw); err != nil {
+			out.err = fmt.Errorf("core: VLDI round trip failed: %w", err)
+			return out
 		}
 	}
 	out.recs = recordsOf(v)

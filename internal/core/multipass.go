@@ -35,7 +35,7 @@ func (e *Engine) SpMVSliced(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, i
 	e.stats.Stripes += len(stripes)
 	lists := make([][]types.Record, len(stripes))
 	for k, s := range stripes {
-		out := e.processStripe(s, x, nil, nil)
+		out := e.processStripeFresh(s, x, nil)
 		if out.err != nil {
 			return nil, 0, out.err
 		}

@@ -47,7 +47,7 @@ func (e *Engine) SpMVStripes(stripes []*matrix.Stripe, rows, cols uint64, x, yIn
 	e.stats.Stripes += len(stripes)
 	lists := make([][]types.Record, len(stripes))
 	for k, s := range stripes {
-		out := e.processStripe(s, x, nil, nil)
+		out := e.processStripeFresh(s, x, nil)
 		if out.err != nil {
 			return nil, out.err
 		}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllocFreeAnalyzer statically pins the steady-state allocation budget
+// of DESIGN.md §9: from the configured steady-state roots (the shared
+// inner paths of Iterate/PageRank), every function reachable through the
+// call graph must be allocation-free. Reachable allocation sites —
+// make, new, growing append, heap composite literals, closure creation,
+// string↔[]byte conversions, and interface boxing of non-pointer values
+// — are diagnostics unless they sit in a blessed warm-up/arena-growth
+// function (Config.AllocFreeWarm), in an exempt package, on a failure
+// path (inside an error-guarded branch or an error return, which the
+// steady state never takes), or under a //lint:allow allocfree
+// annotation with a written reason.
+//
+// The walk is conservative on the call side (interface dispatch fans out
+// to every loaded implementation; referenced function values count as
+// called) and syntactic on the allocation side: it sees allocations in
+// loaded module code only, so standard-library callees are trusted
+// leaves, and escape analysis is approximated (value-struct composite
+// literals are assumed stack-allocated; &T{...}, slice, and map literals
+// are not).
+var AllocFreeAnalyzer = &Analyzer{
+	Name:       "allocfree",
+	Doc:        "code reachable from the steady-state roots must not allocate outside blessed warm-up/arena-growth paths",
+	RunProgram: runAllocFree,
+}
+
+func runAllocFree(prog *Program) []Diagnostic {
+	cfg := prog.Config
+	if len(cfg.AllocFreeRoots) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+
+	var missing []string
+	var roots []*CallNode
+	for _, path := range sortedKeys(cfg.AllocFreeRoots) {
+		for _, name := range cfg.AllocFreeRoots[path] {
+			nodes := prog.Graph.Lookup(path, name)
+			if len(nodes) == 0 {
+				missing = append(missing, path+"."+name)
+			}
+			roots = append(roots, nodes...)
+		}
+	}
+	warm := make(map[*CallNode]bool)
+	for _, path := range sortedKeys(cfg.AllocFreeWarm) {
+		for n := range namedFuncSet(prog.Graph, path, cfg.AllocFreeWarm[path], &missing) {
+			warm[n] = true
+		}
+	}
+	for _, m := range missing {
+		// A root or blessing that no longer resolves means the config
+		// drifted from the code and part of the invariant went dark.
+		pos := token.NoPos
+		if len(prog.Pkgs) > 0 && len(prog.Pkgs[0].Files) > 0 {
+			pos = prog.Pkgs[0].Files[0].Name.Pos()
+		}
+		prog.report(&diags, "allocfree", pos,
+			"configured allocfree function %s does not resolve; update Config.AllocFreeRoots/AllocFreeWarm", m)
+	}
+
+	rootName := make(map[*CallNode]string)
+	callerOf := make(map[*CallNode]*CallNode)
+	var scanOrder []*CallNode
+	prog.Graph.Reachable(roots, func(n *CallNode, via *CallEdge, from *CallNode) bool {
+		if warm[n] {
+			return false // blessed growth: neither scanned nor descended
+		}
+		if from == nil {
+			rootName[n] = funcDisplayName(n)
+		} else {
+			rootName[n] = rootName[from]
+			callerOf[n] = from
+		}
+		if n.Decl == nil || n.Pkg == nil {
+			return true // external leaf: nothing to scan, nothing below
+		}
+		if hasPath(cfg.AllocFreeExemptPackages, n.Pkg.Path) {
+			return false
+		}
+		scanOrder = append(scanOrder, n)
+		return true
+	})
+	// BFS order is deterministic but interleaves packages; report in
+	// stable source order instead.
+	sort.Slice(scanOrder, func(i, j int) bool { return scanOrder[i].Func.Pos() < scanOrder[j].Func.Pos() })
+
+	for _, n := range scanOrder {
+		pass := prog.pass(n.Pkg)
+		for _, site := range allocSites(pass, n.Decl) {
+			prog.report(&diags, "allocfree", site.pos,
+				"%s in %s is reachable from steady-state root %s%s; recycle through an engine arena, bless it as warm-up growth, or annotate the site with a reason",
+				site.what, funcDisplayName(n), rootName[n], viaClause(n, callerOf))
+		}
+	}
+	return diags
+}
+
+// viaClause names the immediate caller when the function is not itself a
+// root, so a finding shows how the steady state reaches it.
+func viaClause(n *CallNode, callerOf map[*CallNode]*CallNode) string {
+	if c := callerOf[n]; c != nil && c != n {
+		return " (via " + funcDisplayName(c) + ")"
+	}
+	return ""
+}
+
+// allocSite is one allocation inside a scanned function.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocSites scans one declaration body for allocation sites, skipping
+// failure paths: statements inside an if whose condition involves an
+// error value, and return statements whose error result is non-nil, are
+// the error-propagation pattern the steady state never executes.
+func allocSites(pass *Pass, fd *ast.FuncDecl) []allocSite {
+	if fd.Body == nil {
+		return nil
+	}
+	var sites []allocSite
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if onErrorPath(pass, stack) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sites = append(sites, callAllocs(pass, n)...)
+		case *ast.CompositeLit:
+			if s := compositeAlloc(pass, n, stack); s != nil {
+				sites = append(sites, *s)
+			}
+		case *ast.FuncLit:
+			sites = append(sites, allocSite{n.Pos(), "closure creation"})
+		}
+		return true
+	})
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// onErrorPath reports whether the innermost node of stack sits on an
+// error-propagation path: under an if whose condition mentions an
+// error-typed value, or inside a return whose error result is non-nil.
+func onErrorPath(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if mentionsErrorValue(pass, n.Cond) {
+				return true
+			}
+		case *ast.ReturnStmt:
+			if returnsNonNilError(pass, n) {
+				return true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// mentionsErrorValue reports whether e references any value of type
+// error (the `if err != nil` guard family).
+func mentionsErrorValue(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		x, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := pass.Info.Types[x]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnsNonNilError reports whether ret's final result is an error
+// expression other than the identifier nil.
+func returnsNonNilError(pass *Pass, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := pass.Info.Types[last]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callAllocs classifies one call expression: allocating builtins and
+// allocating conversions.
+func callAllocs(pass *Pass, call *ast.CallExpr) []allocSite {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				return []allocSite{{call.Pos(), "make"}}
+			case "new":
+				return []allocSite{{call.Pos(), "new"}}
+			case "append":
+				return []allocSite{{call.Pos(), "growing append"}}
+			}
+		}
+	}
+	// Conversion between string and []byte/[]rune copies the payload.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		if fromTV, ok := pass.Info.Types[call.Args[0]]; ok && fromTV.Type != nil {
+			if isStringBytesConversion(fromTV.Type, to) {
+				return []allocSite{{call.Pos(), "string/[]byte conversion"}}
+			}
+			if types.IsInterface(to.Underlying()) && !types.IsInterface(fromTV.Type.Underlying()) && !isPointerLike(fromTV.Type) {
+				return []allocSite{{call.Pos(), "interface boxing of a non-pointer value"}}
+			}
+		}
+	}
+	return nil
+}
+
+func isStringBytesConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// isPointerLike reports whether boxing t into an interface stores the
+// value without a heap copy (pointers, channels, maps, funcs — anything
+// already one word of reference).
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// compositeAlloc flags heap-allocating composite literals: slice and map
+// literals always allocate backing storage; a struct or array literal
+// allocates when its address is taken (&T{...}). Plain value literals
+// are assumed to stay on the stack.
+func compositeAlloc(pass *Pass, lit *ast.CompositeLit, stack []ast.Node) *allocSite {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return &allocSite{lit.Pos(), "slice literal"}
+	case *types.Map:
+		return &allocSite{lit.Pos(), "map literal"}
+	}
+	if len(stack) >= 2 {
+		if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == ast.Expr(lit) {
+			return &allocSite{lit.Pos(), "heap composite literal (&" + typeShort(tv.Type) + "{...})"}
+		}
+	}
+	return nil
+}
+
+// typeShort renders a type's bare name for messages.
+func typeShort(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic walks.
+func sortedKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A lint baseline is the checked-in ledger of accepted pre-existing
+// findings: `make lint` fails only on diagnostics that are not in it,
+// so new invariant violations break the build while the legacy backlog
+// burns down incrementally.
+//
+// Entries are line-number-free — "path [analyzer] message" — so edits
+// elsewhere in a file do not invalidate the baseline, and count-aware:
+// an entry appearing N times excuses at most N identical findings, which
+// makes duplicating a baselined bad pattern a fresh failure.
+
+// baselineKey renders one diagnostic in its baseline form.
+func baselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s [%s] %s", d.Pos.Filename, d.Analyzer, d.Message)
+}
+
+// FormatBaseline renders diags as baseline file content, sorted and
+// headed by a comment describing the format.
+func FormatBaseline(diags []Diagnostic) string {
+	var b strings.Builder
+	b.WriteString("# spmvlint baseline: accepted pre-existing findings, one per line as\n")
+	b.WriteString("#   <file> [<analyzer>] <message>\n")
+	b.WriteString("# Regenerate with `make lint-baseline`. New findings not listed here fail the build.\n")
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(d))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseBaseline reads baseline content into entry counts. Blank lines
+// and '#' comments are ignored.
+func ParseBaseline(data []byte) map[string]int {
+	counts := make(map[string]int)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		counts[line]++
+	}
+	return counts
+}
+
+// FilterBaseline returns the findings not excused by the baseline,
+// consuming one baseline count per matching diagnostic in order.
+func FilterBaseline(diags []Diagnostic, baseline map[string]int) []Diagnostic {
+	if len(baseline) == 0 {
+		return diags
+	}
+	remaining := make(map[string]int, len(baseline))
+	for k, v := range baseline {
+		remaining[k] = v
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}

@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the static call graph the call-graph-aware analyzers
+// (allocfree, poolconfine) walk. The graph is deliberately conservative:
+// it over-approximates "may call" so a reachability walk never misses a
+// real execution path.
+//
+//   - Direct calls (`f()`, `pkg.F()`) and method calls resolve through
+//     the type checker to their *types.Func object.
+//   - Calls through an interface add dispatch edges to every method of a
+//     module type that implements the interface (a class-hierarchy
+//     approximation over the loaded packages).
+//   - A function or method merely *referenced* — a method value handed
+//     to forEach, a func name passed as a callback — gets a reference
+//     edge from the referencing function, because the callee may run
+//     wherever the value flows.
+//   - Function literals are attributed to their enclosing declaration:
+//     every call or reference inside a literal becomes an edge out of
+//     the declared function that contains it, so closures neither hide
+//     work nor need their own nodes.
+//
+// Only functions declared in the loaded packages carry bodies; calls
+// into the standard library become leaf nodes the walk stops at.
+
+// EdgeKind classifies how a caller may transfer control to a callee.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is a statically resolved direct call.
+	EdgeCall EdgeKind = iota
+	// EdgeDispatch is an interface-dispatch candidate: the callee is a
+	// concrete method that may satisfy the called interface method.
+	EdgeDispatch
+	// EdgeRef is a reference edge: the function value escapes here and
+	// may be invoked by whoever receives it.
+	EdgeRef
+	// EdgeGo is a direct call started on a new goroutine.
+	EdgeGo
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDispatch:
+		return "dispatch"
+	case EdgeRef:
+		return "ref"
+	case EdgeGo:
+		return "go"
+	}
+	return "?"
+}
+
+// CallEdge is one may-call edge, anchored at its source position.
+type CallEdge struct {
+	Callee *CallNode
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// CallNode is one function or method in the graph.
+type CallNode struct {
+	Func *types.Func
+	// Decl is the function's syntax when it was declared in a loaded
+	// package; nil for external (standard library) functions, which are
+	// leaves.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package declaring the function, nil for leaves.
+	Pkg *Package
+	// Out lists the node's outgoing edges in source order.
+	Out []*CallEdge
+}
+
+// Name returns the node's bare name, plus the "Type.Method" form for
+// methods, so configuration lists can use either spelling.
+func (n *CallNode) Name() string { return n.Func.Name() }
+
+// QualifiedName returns "Type.Method" for methods and the bare name for
+// plain functions.
+func (n *CallNode) QualifiedName() string {
+	if r := receiverTypeName(n.Func); r != "" {
+		return r + "." + n.Func.Name()
+	}
+	return n.Func.Name()
+}
+
+// receiverTypeName unwraps a method's receiver to its named type.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+}
+
+// NodeOf returns the graph node for fn, or nil when fn was never seen.
+func (g *CallGraph) NodeOf(fn *types.Func) *CallNode { return g.nodes[fn] }
+
+// Lookup resolves the functions in pkgPath matching name, which may be a
+// bare function name or the "Type.Method" form. Multiple matches are
+// possible for a bare method name shared by several receiver types.
+func (g *CallGraph) Lookup(pkgPath, name string) []*CallNode {
+	var out []*CallNode
+	for _, n := range g.nodes {
+		if n.Pkg == nil || n.Pkg.Path != pkgPath {
+			continue
+		}
+		if n.Name() == name || n.QualifiedName() == name {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func.Pos() < out[j].Func.Pos() })
+	return out
+}
+
+// Reachable walks the graph from roots across every edge kind, calling
+// visit once per node in deterministic BFS order with the edge that first
+// reached it (nil for roots). A false return from visit prunes the walk
+// below that node without removing it from the reached set.
+func (g *CallGraph) Reachable(roots []*CallNode, visit func(n *CallNode, via *CallEdge, from *CallNode) bool) {
+	seen := make(map[*CallNode]bool)
+	type item struct {
+		n    *CallNode
+		via  *CallEdge
+		from *CallNode
+	}
+	var queue []item
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, item{n: r})
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if !visit(it.n, it.via, it.from) {
+			continue
+		}
+		for _, e := range it.n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, item{n: e.Callee, via: e, from: it.n})
+			}
+		}
+	}
+}
+
+// BuildCallGraph constructs the conservative static call graph over the
+// loaded packages. Packages must share one FileSet (LoadModule and the
+// memoizing Loader both guarantee that).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+
+	// Pass 1: a node per declared function, so edges can resolve forward
+	// references and cross-package calls.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.nodes[fn] = &CallNode{Func: fn, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+
+	idx := newImplementsIndex(pkgs)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.addEdges(g.nodes[fn], fd, pkg, idx)
+			}
+		}
+	}
+	return g
+}
+
+// leaf returns (creating on demand) the node for a function with no
+// loaded syntax — standard-library callees and interface methods.
+func (g *CallGraph) leaf(fn *types.Func) *CallNode {
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &CallNode{Func: fn}
+	g.nodes[fn] = n
+	return n
+}
+
+// addEdges walks one declaration body and records its outgoing edges.
+// Function literals inside the body are attributed to the declaration.
+func (g *CallGraph) addEdges(node *CallNode, fd *ast.FuncDecl, pkg *Package, idx *implementsIndex) {
+	if fd.Body == nil {
+		return
+	}
+	// callFuns marks expressions appearing in call position, so the
+	// reference pass below can skip them.
+	callFuns := make(map[ast.Expr]bool)
+	var goCalls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			goCalls = append(goCalls, gs.Call)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callFuns[call.Fun] = true
+		return true
+	})
+	isGo := func(call *ast.CallExpr) bool {
+		for _, gc := range goCalls {
+			if gc == call {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			kind := EdgeCall
+			if isGo(n) {
+				kind = EdgeGo
+			}
+			g.addCallEdges(node, n, pkg, idx, kind)
+		case *ast.Ident:
+			// Reference edge: a function name used outside call position.
+			if callFuns[ast.Expr(n)] {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[n].(*types.Func); ok {
+				node.Out = append(node.Out, &CallEdge{Callee: g.leaf(fn), Pos: n.Pos(), Kind: EdgeRef})
+			}
+		case *ast.SelectorExpr:
+			// Bound-method value (x.M handed around as a func value).
+			if callFuns[ast.Expr(n)] {
+				return true
+			}
+			if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					g.addResolvedEdges(node, fn, n.Pos(), EdgeRef, idx)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// addCallEdges resolves one call expression to its callee edges.
+func (g *CallGraph) addCallEdges(node *CallNode, call *ast.CallExpr, pkg *Package, idx *implementsIndex, kind EdgeKind) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			node.Out = append(node.Out, &CallEdge{Callee: g.leaf(fn), Pos: call.Pos(), Kind: kind})
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				g.addResolvedEdges(node, fn, call.Pos(), kind, idx)
+			}
+			return
+		}
+		// Qualified call through a package selector (pkg.F()).
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			node.Out = append(node.Out, &CallEdge{Callee: g.leaf(fn), Pos: call.Pos(), Kind: kind})
+		}
+	}
+}
+
+// addResolvedEdges adds the edge for a resolved method object; interface
+// methods fan out to their loaded implementations.
+func (g *CallGraph) addResolvedEdges(node *CallNode, fn *types.Func, pos token.Pos, kind EdgeKind, idx *implementsIndex) {
+	node.Out = append(node.Out, &CallEdge{Callee: g.leaf(fn), Pos: pos, Kind: kind})
+	if !isInterfaceMethod(fn) {
+		return
+	}
+	for _, impl := range idx.implementations(fn) {
+		k := EdgeDispatch
+		if kind == EdgeGo {
+			k = EdgeGo
+		}
+		node.Out = append(node.Out, &CallEdge{Callee: g.leaf(impl), Pos: pos, Kind: k})
+	}
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implementsIndex answers "which loaded methods may satisfy this
+// interface method" with per-method memoization.
+type implementsIndex struct {
+	named []*types.Named
+	memo  map[*types.Func][]*types.Func
+}
+
+// newImplementsIndex collects every named (non-interface) type declared
+// in the loaded packages, in deterministic order.
+func newImplementsIndex(pkgs []*Package) *implementsIndex {
+	idx := &implementsIndex{memo: make(map[*types.Func][]*types.Func)}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			idx.named = append(idx.named, named)
+		}
+	}
+	return idx
+}
+
+// implementations returns the concrete loaded methods that may be
+// dispatched by a call to interface method ifn.
+func (idx *implementsIndex) implementations(ifn *types.Func) []*types.Func {
+	if impls, ok := idx.memo[ifn]; ok {
+		return impls
+	}
+	sig := ifn.Type().(*types.Signature)
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	var impls []*types.Func
+	if ok {
+		for _, named := range idx.named {
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, ifn.Pkg(), ifn.Name())
+			if m, ok := obj.(*types.Func); ok {
+				impls = append(impls, m)
+			}
+		}
+	}
+	idx.memo[ifn] = impls
+	return impls
+}
+
+// matchesFuncName reports whether node is named by entry, which may be a
+// bare name or the "Type.Method" form.
+func matchesFuncName(n *CallNode, entry string) bool {
+	return n.Name() == entry || n.QualifiedName() == entry
+}
+
+// namedFuncSet resolves a config name list for one package into a node
+// set, reporting names that match nothing so configuration drift is loud.
+func namedFuncSet(g *CallGraph, pkgPath string, names []string, missing *[]string) map[*CallNode]bool {
+	set := make(map[*CallNode]bool)
+	for _, name := range names {
+		nodes := g.Lookup(pkgPath, name)
+		if len(nodes) == 0 && missing != nil {
+			*missing = append(*missing, pkgPath+"."+name)
+		}
+		for _, n := range nodes {
+			set[n] = true
+		}
+	}
+	return set
+}
+
+// funcDisplayName renders a node for diagnostics: pkg.Func or
+// pkg.Type.Method, trimmed of the module prefix for brevity.
+func funcDisplayName(n *CallNode) string {
+	name := n.QualifiedName()
+	if n.Func.Pkg() != nil {
+		p := n.Func.Pkg().Path()
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		name = p + "." + name
+	}
+	return name
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestCallGraphEdges drives the builder over the callgraph corpus and
+// checks one expected edge per construct: direct calls, resolved method
+// calls, interface dispatch fan-out, method values, named-function
+// references, literal attribution, go statements, and the
+// //go:build-selected variant of a tagged declaration.
+func TestCallGraphEdges(t *testing.T) {
+	root := moduleRoot(t)
+	ld := sharedLoader(t, root)
+	pkg := loadCorpus(t, ld, root, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+
+	cases := []struct {
+		from string
+		kind EdgeKind
+		to   string
+	}{
+		{"CallDirect", EdgeCall, "helper"},
+		{"CallMethod", EdgeCall, "A.Do"},
+		{"CallInterface", EdgeDispatch, "A.Do"},
+		{"CallInterface", EdgeDispatch, "B.Do"},
+		{"MethodValue", EdgeRef, "A.Do"},
+		{"RefByName", EdgeCall, "use"},
+		{"RefByName", EdgeRef, "helper"},
+		{"FuncLitArg", EdgeCall, "apply"},
+		{"FuncLitArg", EdgeCall, "helper"},
+		{"Spawn", EdgeGo, "helper"},
+		{"Gated", EdgeCall, "mark"},
+	}
+	for _, tc := range cases {
+		nodes := g.Lookup(pkg.Path, tc.from)
+		if len(nodes) != 1 {
+			t.Fatalf("Lookup(%s) = %d nodes, want 1", tc.from, len(nodes))
+		}
+		found := false
+		for _, e := range nodes[0].Out {
+			if e.Kind == tc.kind && e.Callee.QualifiedName() == tc.to {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing edge %s -[%s]-> %s; have:%s", tc.from, tc.kind, tc.to, renderEdges(nodes[0]))
+		}
+	}
+}
+
+func renderEdges(n *CallNode) string {
+	s := ""
+	for _, e := range n.Out {
+		s += "\n  -[" + e.Kind.String() + "]-> " + e.Callee.QualifiedName()
+	}
+	return s
+}
+
+// TestCallGraphLookupForms checks both config spellings resolve: the
+// bare method name (possibly multiple receivers) and Type.Method.
+func TestCallGraphLookupForms(t *testing.T) {
+	root := moduleRoot(t)
+	ld := sharedLoader(t, root)
+	pkg := loadCorpus(t, ld, root, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+
+	if nodes := g.Lookup(pkg.Path, "Do"); len(nodes) != 2 {
+		t.Errorf("Lookup(Do) = %d nodes, want 2 (A.Do and B.Do)", len(nodes))
+	}
+	if nodes := g.Lookup(pkg.Path, "B.Do"); len(nodes) != 1 {
+		t.Errorf("Lookup(B.Do) = %d nodes, want 1", len(nodes))
+	}
+	if nodes := g.Lookup(pkg.Path, "NoSuchFunc"); len(nodes) != 0 {
+		t.Errorf("Lookup(NoSuchFunc) = %d nodes, want 0", len(nodes))
+	}
+}
+
+// TestCallGraphReachable checks the BFS walk crosses literal-attributed
+// and dispatch edges, and that returning false prunes a subtree.
+func TestCallGraphReachable(t *testing.T) {
+	root := moduleRoot(t)
+	ld := sharedLoader(t, root)
+	pkg := loadCorpus(t, ld, root, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+
+	roots := g.Lookup(pkg.Path, "FuncLitArg")
+	reached := map[string]bool{}
+	g.Reachable(roots, func(n *CallNode, via *CallEdge, from *CallNode) bool {
+		reached[n.QualifiedName()] = true
+		return true
+	})
+	for _, want := range []string{"FuncLitArg", "apply", "helper"} {
+		if !reached[want] {
+			t.Errorf("%s not reached from FuncLitArg; reached = %v", want, reached)
+		}
+	}
+
+	// Pruning at CallInterface must keep the dispatch targets unvisited.
+	reached = map[string]bool{}
+	g.Reachable(g.Lookup(pkg.Path, "CallInterface"), func(n *CallNode, via *CallEdge, from *CallNode) bool {
+		reached[n.QualifiedName()] = true
+		return n.Name() != "CallInterface"
+	})
+	if reached["A.Do"] || reached["B.Do"] {
+		t.Errorf("pruned walk still visited dispatch targets: %v", reached)
+	}
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockSnapshotAnalyzer enforces the pool-member snapshot discipline: the
+// published Counters/RunStats snapshot a pool member exposes to Ledger()
+// is guarded by the member's mutex, following the Go convention that a
+// sync.Mutex field guards the fields declared below it. Every read or
+// write of a guarded field must sit between Lock/Unlock calls on the
+// same receiver's mutex (a deferred Unlock extends the span to the end
+// of the function). The snapshot-owning types are configured per package
+// in Config.SnapshotTypes; helpers that own the discipline wholesale
+// (none today) can be blessed via Config.BlessedSnapshotFuncs.
+//
+// The lock-span check is position-based within one function body — exact
+// for the straight-line lock/copy/unlock and lock/defer-unlock shapes
+// the serving layer uses, conservative (reporting) for anything fancier.
+var LockSnapshotAnalyzer = &Analyzer{
+	Name: "locksnapshot",
+	Doc:  "published pool-member snapshot fields are touched only under the owning mutex",
+	Run:  runLockSnapshot,
+}
+
+// snapshotType is one configured type with its mutex and guarded fields.
+type snapshotType struct {
+	named   *types.Named
+	mutex   *types.Var          // the guarding sync.Mutex/RWMutex field
+	guarded map[*types.Var]bool // fields declared after the mutex
+}
+
+func runLockSnapshot(pass *Pass) []Diagnostic {
+	names := pass.Config.SnapshotTypes[pass.PkgPath]
+	if len(names) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+
+	var snaps []*snapshotType
+	for _, name := range names {
+		st := resolveSnapshotType(pass, name, &diags)
+		if st != nil {
+			snaps = append(snaps, st)
+		}
+	}
+	if len(snaps) == 0 {
+		return diags
+	}
+
+	blessed := pass.Config.BlessedSnapshotFuncs[pass.PkgPath]
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && funcNameListed(fn, blessed) {
+				continue
+			}
+			checkLockSpans(pass, fd, snaps, &diags)
+		}
+	}
+	return diags
+}
+
+// resolveSnapshotType looks up one configured type name and derives its
+// mutex/guarded-field split, reporting configuration drift.
+func resolveSnapshotType(pass *Pass, name string, diags *[]Diagnostic) *snapshotType {
+	pos := token.NoPos
+	if len(pass.Files) > 0 {
+		pos = pass.Files[0].Name.Pos()
+	}
+	tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		pass.report(diags, "locksnapshot", pos,
+			"configured snapshot type %s is not declared in %s; update Config.SnapshotTypes", name, pass.PkgPath)
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.report(diags, "locksnapshot", tn.Pos(),
+			"configured snapshot type %s is not a struct", name)
+		return nil
+	}
+	out := &snapshotType{named: named, guarded: make(map[*types.Var]bool)}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if out.mutex == nil {
+			if isSyncMutex(f.Type()) {
+				out.mutex = f
+			}
+			continue
+		}
+		out.guarded[f] = true
+	}
+	if out.mutex == nil {
+		pass.report(diags, "locksnapshot", tn.Pos(),
+			"configured snapshot type %s has no sync.Mutex field to guard its snapshot", name)
+		return nil
+	}
+	if len(out.guarded) == 0 {
+		pass.report(diags, "locksnapshot", tn.Pos(),
+			"configured snapshot type %s declares no fields below its mutex; nothing is guarded", name)
+		return nil
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockEvent is one Lock/Unlock call on a tracked mutex, keyed by the
+// receiver object the mutex was selected from.
+type lockEvent struct {
+	pos   token.Pos
+	root  types.Object
+	delta int // +1 lock, -1 unlock
+}
+
+// guardedAccess is one touch of a guarded field.
+type guardedAccess struct {
+	pos   token.Pos
+	root  types.Object
+	field *types.Var
+}
+
+// checkLockSpans verifies every guarded-field access in fd sits inside a
+// lock span on the same receiver's mutex.
+func checkLockSpans(pass *Pass, fd *ast.FuncDecl, snaps []*snapshotType, diags *[]Diagnostic) {
+	var events []lockEvent
+	var accesses []guardedAccess
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			ev, ok := mutexEvent(pass, n, snaps)
+			if !ok {
+				return true
+			}
+			if ev.delta < 0 {
+				if _, deferred := enclosing[*ast.DeferStmt](stack); deferred {
+					// A deferred unlock runs at return: the span covers the
+					// rest of the function body.
+					ev.pos = fd.Body.End()
+				}
+			}
+			events = append(events, ev)
+		case *ast.SelectorExpr:
+			field, ok := selectedField(pass, n)
+			if !ok {
+				return true
+			}
+			for _, st := range snaps {
+				if st.guarded[field] {
+					var root types.Object
+					if id := rootIdent(n.X); id != nil {
+						root = objOf(pass, id)
+					}
+					accesses = append(accesses, guardedAccess{pos: n.Sel.Pos(), root: root, field: field})
+				}
+			}
+		}
+		return true
+	})
+	if len(accesses) == 0 {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	for _, a := range accesses {
+		if !lockedAt(events, a) {
+			pass.report(diags, "locksnapshot", a.pos,
+				"snapshot field %s read or written outside the owning mutex's Lock/Unlock span in %s; move the access under the member lock or bless the helper in Config.BlessedSnapshotFuncs",
+				a.field.Name(), fd.Name.Name)
+		}
+	}
+}
+
+// lockedAt replays the lock events for a's receiver up to a's position
+// and reports whether the mutex is held there. An access whose receiver
+// cannot be rooted to an identifier is never provably locked.
+func lockedAt(events []lockEvent, a guardedAccess) bool {
+	if a.root == nil {
+		return false
+	}
+	depth := 0
+	for _, ev := range events {
+		if ev.pos >= a.pos {
+			break
+		}
+		if ev.root != a.root {
+			continue
+		}
+		depth += ev.delta
+		if depth < 0 {
+			depth = 0
+		}
+	}
+	return depth > 0
+}
+
+// mutexEvent classifies a call as Lock/Unlock on a tracked snapshot
+// type's mutex field, resolving the receiver it was selected from.
+func mutexEvent(pass *Pass, call *ast.CallExpr, snaps []*snapshotType) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var delta int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = +1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return lockEvent{}, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	field, ok := selectedField(pass, inner)
+	if !ok {
+		return lockEvent{}, false
+	}
+	tracked := false
+	for _, st := range snaps {
+		if field == st.mutex {
+			tracked = true
+		}
+	}
+	if !tracked {
+		return lockEvent{}, false
+	}
+	var root types.Object
+	if id := rootIdent(inner.X); id != nil {
+		root = objOf(pass, id)
+	}
+	return lockEvent{pos: call.Pos(), root: root, delta: delta}, true
+}
+
+// selectedField resolves a selector to the struct field it names.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v, true
+		}
+		return nil, false
+	}
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v, true
+	}
+	return nil, false
+}
+
+// funcNameListed reports whether fn is named in list, by bare name or the
+// "Type.Method" form.
+func funcNameListed(fn *types.Func, list []string) bool {
+	qualified := fn.Name()
+	if r := receiverTypeName(fn); r != "" {
+		qualified = r + "." + fn.Name()
+	}
+	for _, entry := range list {
+		if entry == fn.Name() || entry == qualified {
+			return true
+		}
+	}
+	return false
+}

@@ -6,11 +6,12 @@ import (
 )
 
 // PkgDocAnalyzer enforces the documentation floor of the observability
-// work: every package under a configured prefix (the internal/ tree by
-// default) must carry a package doc comment, and that comment must open
-// with the canonical "Package <name>" form so godoc renders a sentence
-// rather than a fragment. A package's doc may live on any one of its
-// files; one clean file satisfies the whole package.
+// work: every package under a configured prefix (the internal/ and cmd/
+// trees by default) must carry a package doc comment, and that comment
+// must open with the canonical form so godoc renders a sentence rather
+// than a fragment — "Package <name>" for libraries, "Command <dirname>"
+// for main packages. A package's doc may live on any one of its files;
+// one clean file satisfies the whole package.
 var PkgDocAnalyzer = &Analyzer{
 	Name: "pkgdoc",
 	Doc:  "packages under the documented prefixes must have a canonical package doc comment",
@@ -22,13 +23,23 @@ func runPkgDoc(pass *Pass) []Diagnostic {
 		return nil
 	}
 	name := pass.Pkg.Name()
+	// A main package documents the command it builds, named after its
+	// directory, not the package identifier.
+	want := "Package " + name
+	if name == "main" {
+		dir := pass.PkgPath
+		if i := strings.LastIndex(dir, "/"); i >= 0 {
+			dir = dir[i+1:]
+		}
+		want = "Command " + dir
+	}
 	var docs []*ast.File
 	for _, f := range pass.Files {
 		if f.Doc == nil {
 			continue
 		}
 		docs = append(docs, f)
-		if strings.HasPrefix(strings.TrimSpace(f.Doc.Text()), "Package "+name) {
+		if strings.HasPrefix(strings.TrimSpace(f.Doc.Text()), want) {
 			return nil
 		}
 	}
@@ -39,7 +50,7 @@ func runPkgDoc(pass *Pass) []Diagnostic {
 		return diags
 	}
 	pass.report(&diags, "pkgdoc", docs[0].Doc.Pos(),
-		"package %s doc comment should start with %q", name, "Package "+name)
+		"package %s doc comment should start with %q", name, want)
 	return diags
 }
 

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolConfineAnalyzer enforces the serving layer's concurrency model:
+// engines are pooled, and an engine checked out of the pool is confined
+// to the goroutine that holds it until it is returned. Inside the pool
+// package — and inside any function the call graph can reach from it
+// that takes a pooled-engine parameter — a pooled engine or pool member
+// must not be stored to a struct field, global, or collection, sent on a
+// channel, or handed to a new goroutine; a checkout must be paired with
+// a return on every non-failure exit (a deferred return call is the
+// blessed shape); and no use of the member may follow an explicit
+// return-to-pool call. The pool-mechanics functions that own the idle
+// channel and member construction are configured in
+// Config.BlessedPoolFuncs.
+//
+// The exit/use-after-return checks are position-based within one
+// function body, which is exact for the deferred-return idiom and
+// deliberately conservative elsewhere — restructure toward `defer
+// release` rather than suppressing.
+var PoolConfineAnalyzer = &Analyzer{
+	Name:       "poolconfine",
+	Doc:        "engines checked out of the pool stay goroutine-confined and are returned on every exit",
+	RunProgram: runPoolConfine,
+}
+
+func runPoolConfine(prog *Program) []Diagnostic {
+	cfg := prog.Config
+	if cfg.PoolPackage == "" {
+		return nil
+	}
+	pkg := prog.byPath(cfg.PoolPackage)
+	if pkg == nil {
+		return nil
+	}
+	var diags []Diagnostic
+
+	pc := &poolChecker{prog: prog}
+	pc.resolve(&diags)
+
+	// Scope: every function in the pool package, plus call-graph-reachable
+	// helpers elsewhere that take a confined parameter (the engine type's
+	// own package excluded — the engine's internals ARE the engine).
+	scanned := make(map[*CallNode]bool)
+	var scope []*CallNode
+	var poolNodes []*CallNode
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if n := prog.Graph.NodeOf(fn); n != nil {
+				poolNodes = append(poolNodes, n)
+				if !scanned[n] {
+					scanned[n] = true
+					scope = append(scope, n)
+				}
+			}
+		}
+	}
+	prog.Graph.Reachable(poolNodes, func(n *CallNode, via *CallEdge, from *CallNode) bool {
+		if n.Decl == nil || n.Pkg == nil || n.Pkg.Path == cfg.EngineTypePackage {
+			return true
+		}
+		if n.Pkg.Path != cfg.PoolPackage && pc.hasConfinedParam(n) && !scanned[n] {
+			scanned[n] = true
+			scope = append(scope, n)
+		}
+		return true
+	})
+	sort.Slice(scope, func(i, j int) bool { return scope[i].Func.Pos() < scope[j].Func.Pos() })
+
+	for _, n := range scope {
+		if pc.blessed(n) {
+			continue
+		}
+		pc.checkFunc(n, &diags)
+	}
+	return diags
+}
+
+// poolChecker carries the resolved type and function sets of one run.
+type poolChecker struct {
+	prog *Program
+	// memberNamed holds named types returned by the checkout functions
+	// (the pool-member wrapper around the engine).
+	memberNamed map[*types.Named]bool
+	checkout    map[*types.Func]bool
+	giveBack    map[*types.Func]bool
+	blessedSet  map[*CallNode]bool
+}
+
+// resolve builds the confined-type and checkout/return sets, reporting
+// configuration drift.
+func (pc *poolChecker) resolve(diags *[]Diagnostic) {
+	cfg := pc.prog.Config
+	pc.memberNamed = make(map[*types.Named]bool)
+	pc.checkout = make(map[*types.Func]bool)
+	pc.giveBack = make(map[*types.Func]bool)
+	pc.blessedSet = make(map[*CallNode]bool)
+
+	var missing []string
+	for n := range namedFuncSet(pc.prog.Graph, cfg.PoolPackage, cfg.PoolCheckoutFuncs, &missing) {
+		pc.checkout[n.Func] = true
+		sig := n.Func.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if ptr, ok := sig.Results().At(i).Type().(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok {
+					pc.memberNamed[named] = true
+				}
+			}
+		}
+	}
+	for n := range namedFuncSet(pc.prog.Graph, cfg.PoolPackage, cfg.PoolReturnFuncs, &missing) {
+		pc.giveBack[n.Func] = true
+	}
+	for _, path := range sortedKeys(cfg.BlessedPoolFuncs) {
+		for n := range namedFuncSet(pc.prog.Graph, path, cfg.BlessedPoolFuncs[path], &missing) {
+			pc.blessedSet[n] = true
+		}
+	}
+	for _, m := range missing {
+		pos := token.NoPos
+		if pkg := pc.prog.byPath(cfg.PoolPackage); pkg != nil && len(pkg.Files) > 0 {
+			pos = pkg.Files[0].Name.Pos()
+		}
+		pc.prog.report(diags, "poolconfine", pos,
+			"configured pool function %s does not resolve; update Config.PoolCheckoutFuncs/PoolReturnFuncs/BlessedPoolFuncs", m)
+	}
+}
+
+func (pc *poolChecker) blessed(n *CallNode) bool { return pc.blessedSet[n] }
+
+// confinedType reports whether t is a pooled engine or pool member
+// pointer — the values whose escape the analyzer polices.
+func (pc *poolChecker) confinedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	cfg := pc.prog.Config
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == cfg.EngineTypePackage && obj.Name() == cfg.EngineTypeName {
+		return true
+	}
+	return pc.memberNamed[named]
+}
+
+func (pc *poolChecker) hasConfinedParam(n *CallNode) bool {
+	sig, ok := n.Func.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if pc.confinedType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprConfined reports whether e's static type is confined.
+func (pc *poolChecker) exprConfined(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && pc.confinedType(tv.Type)
+}
+
+// checkoutSite records one checkout call and the member object it bound.
+type checkoutSite struct {
+	pos token.Pos
+	obj types.Object // may be nil when the result is not bound to an ident
+}
+
+// returnSite records one explicit (or deferred) return-to-pool call.
+type returnSite struct {
+	pos      token.Pos
+	end      token.Pos
+	deferred bool
+	call     *ast.CallExpr
+}
+
+// checkFunc runs all confinement checks over one function body.
+func (pc *poolChecker) checkFunc(n *CallNode, diags *[]Diagnostic) {
+	fd := n.Decl
+	if fd.Body == nil {
+		return
+	}
+	pass := pc.prog.pass(n.Pkg)
+
+	var checkouts []checkoutSite
+	var returns []returnSite
+	type exit struct {
+		pos       token.Pos
+		errorPath bool
+	}
+	var exits []exit
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, node)
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			pc.checkAssign(pass, node, diags)
+		case *ast.CompositeLit:
+			pc.checkComposite(pass, node, diags)
+		case *ast.SendStmt:
+			if pc.exprConfined(pass, node.Value) {
+				pc.prog.report(diags, "poolconfine", node.Pos(),
+					"pooled engine/member sent on a channel outside the pool mechanics; engines are goroutine-confined between checkout and return")
+			}
+		case *ast.GoStmt:
+			pc.checkGo(pass, fd, node, diags)
+		case *ast.CallExpr:
+			callee := calleeFunc(pass, node)
+			if callee == nil {
+				return true
+			}
+			if pc.checkout[callee] {
+				checkouts = append(checkouts, checkoutSite{pos: node.Pos(), obj: boundObject(pass, stack, node)})
+			}
+			if pc.giveBack[callee] {
+				_, deferred := enclosing[*ast.DeferStmt](stack)
+				returns = append(returns, returnSite{pos: node.Pos(), end: node.End(), deferred: deferred, call: node})
+			}
+		case *ast.ReturnStmt:
+			exits = append(exits, exit{pos: node.Pos(), errorPath: onErrorPath(pass, stack)})
+		}
+		return true
+	})
+
+	// Return-dominates-exit: every checkout needs a deferred return, or an
+	// explicit return call before each non-failure exit that follows it.
+	for _, co := range checkouts {
+		covered := false
+		for _, r := range returns {
+			if r.deferred && r.pos > co.pos && (co.obj == nil || referencesObj(pass, r.call, co.obj)) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		for _, ex := range exits {
+			if ex.pos < co.pos || ex.errorPath {
+				continue
+			}
+			released := false
+			for _, r := range returns {
+				if !r.deferred && r.pos > co.pos && r.pos < ex.pos && (co.obj == nil || referencesObj(pass, r.call, co.obj)) {
+					released = true
+					break
+				}
+			}
+			if !released {
+				pc.prog.report(diags, "poolconfine", ex.pos,
+					"function exit without returning the engine checked out at %s; `defer` the pool return immediately after checkout",
+					pass.Fset.Position(co.pos))
+			}
+		}
+	}
+
+	// Use-after-return: a member touched after its explicit return call.
+	for _, r := range returns {
+		if r.deferred {
+			continue
+		}
+		var retObjs []types.Object
+		ast.Inspect(r.call, func(nd ast.Node) bool {
+			if id, ok := nd.(*ast.Ident); ok {
+				if obj := objOf(pass, id); obj != nil {
+					if v, ok := obj.(*types.Var); ok && pc.confinedType(v.Type()) {
+						retObjs = append(retObjs, obj)
+					}
+				}
+			}
+			return true
+		})
+		if len(retObjs) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(nd ast.Node) bool {
+			id, ok := nd.(*ast.Ident)
+			if !ok || id.Pos() <= r.end {
+				return true
+			}
+			obj := objOf(pass, id)
+			for _, ro := range retObjs {
+				if obj == ro {
+					pc.prog.report(diags, "poolconfine", id.Pos(),
+						"pooled engine/member %s used after being returned to the pool at %s",
+						id.Name, pass.Fset.Position(r.pos))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags stores of confined values into fields, globals, and
+// collections.
+func (pc *poolChecker) checkAssign(pass *Pass, as *ast.AssignStmt, diags *[]Diagnostic) {
+	for i, rhs := range as.Rhs {
+		if len(as.Lhs) != len(as.Rhs) {
+			break // multi-value call; its results are checked at binding sites
+		}
+		if !pc.exprConfined(pass, rhs) {
+			continue
+		}
+		lhs := as.Lhs[i]
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			pc.prog.report(diags, "poolconfine", as.Pos(),
+				"pooled engine/member stored in field %s; engines may live only in the pool and on the checkout goroutine's stack", exprString(l))
+		case *ast.IndexExpr:
+			pc.prog.report(diags, "poolconfine", as.Pos(),
+				"pooled engine/member stored in collection %s; engines may live only in the pool and on the checkout goroutine's stack", exprString(l.X))
+		case *ast.Ident:
+			if v, ok := objOf(pass, l).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+				pc.prog.report(diags, "poolconfine", as.Pos(),
+					"pooled engine/member stored in package variable %s", l.Name)
+			}
+		}
+	}
+}
+
+// checkComposite flags composite literals carrying confined values into
+// struct fields or collection elements.
+func (pc *poolChecker) checkComposite(pass *Pass, lit *ast.CompositeLit, diags *[]Diagnostic) {
+	for _, elt := range lit.Elts {
+		v := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if pc.exprConfined(pass, v) {
+			pc.prog.report(diags, "poolconfine", v.Pos(),
+				"pooled engine/member stored through a composite literal; only the blessed pool mechanics may wrap engines")
+		}
+	}
+}
+
+// checkGo flags engines crossing into new goroutines, whether passed as
+// arguments or captured by the spawned literal.
+func (pc *poolChecker) checkGo(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt, diags *[]Diagnostic) {
+	for _, arg := range gs.Call.Args {
+		if pc.exprConfined(pass, arg) {
+			pc.prog.report(diags, "poolconfine", arg.Pos(),
+				"pooled engine/member passed to a goroutine; engines are confined to the goroutine that checked them out")
+		}
+	}
+	fl, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fl.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := objOf(pass, id).(*types.Var)
+		if !ok || !pc.confinedType(v.Type()) || within(fl, v) {
+			return true
+		}
+		pc.prog.report(diags, "poolconfine", id.Pos(),
+			"goroutine literal captures pooled engine/member %s; engines are confined to the goroutine that checked them out", id.Name)
+		return true
+	})
+}
+
+// calleeFunc resolves a call to its static *types.Func, nil for dynamic
+// calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// boundObject returns the object an assignment binds the call's first
+// result to, walking up the ancestor stack to the enclosing AssignStmt.
+func boundObject(pass *Pass, stack []ast.Node, call *ast.CallExpr) types.Object {
+	as, ok := enclosing[*ast.AssignStmt](stack)
+	if !ok || len(as.Lhs) == 0 {
+		return nil
+	}
+	// The call must be (part of) the statement's right-hand side.
+	onRHS := false
+	for _, r := range as.Rhs {
+		if r.Pos() <= call.Pos() && call.End() <= r.End() {
+			onRHS = true
+		}
+	}
+	if !onRHS {
+		return nil
+	}
+	if id, ok := as.Lhs[0].(*ast.Ident); ok {
+		return objOf(pass, id)
+	}
+	return nil
+}
+
+// enclosing returns the innermost ancestor of type T on the stack.
+func enclosing[T ast.Node](stack []ast.Node) (T, bool) {
+	var zero T
+	for i := len(stack) - 1; i >= 0; i-- {
+		if t, ok := stack[i].(T); ok {
+			return t, true
+		}
+	}
+	return zero, false
+}

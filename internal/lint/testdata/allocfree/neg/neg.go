@@ -1,0 +1,47 @@
+// Package allocfreeneg models the arena-reuse steady state the engine
+// runs: scratch is recycled, growth happens only in the blessed warm
+// helper, failure paths may allocate, and one intentional site carries
+// an allow annotation with its reason.
+package allocfreeneg
+
+import "errors"
+
+var errEmpty = errors.New("empty")
+
+type engine struct {
+	scratch []float64
+	out     []float64
+}
+
+// Iterate is the steady-state root: it recycles the scratch arena.
+func (e *engine) Iterate(n int) error {
+	for i := 0; i < n; i++ {
+		buf := e.grow(16)
+		for j := range buf {
+			buf[j] = float64(j)
+		}
+		if err := e.consume(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grow is the blessed warm-up/arena-growth helper: it may allocate, and
+// the analyzer neither scans it nor descends below it.
+func (e *engine) grow(n int) []float64 {
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, n)
+	}
+	return e.scratch[:n]
+}
+
+// consume allocates only on its failure path and at one annotated site.
+func (e *engine) consume(buf []float64) error {
+	if len(buf) == 0 {
+		return errors.Join(errEmpty, errors.New("no records"))
+	}
+	//lint:allow allocfree intentional amortized growth, counted in the corpus budget
+	e.out = append(e.out, buf[0])
+	return nil
+}

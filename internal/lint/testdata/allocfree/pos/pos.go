@@ -1,0 +1,30 @@
+// Package allocfreepos models an iterate loop whose arena reuse was
+// deleted: every helper allocates afresh per iteration, which is exactly
+// the regression the allocfree analyzer exists to catch.
+package allocfreepos
+
+type pair struct{ a, b float64 }
+
+type engine struct {
+	out []float64
+}
+
+// Iterate is the steady-state root the corpus config names.
+func (e *engine) Iterate(n int) {
+	for i := 0; i < n; i++ {
+		e.step()
+	}
+}
+
+// step allocates in six distinct ways, all reachable from Iterate.
+func (e *engine) step() {
+	buf := make([]float64, 16)
+	e.out = append(e.out, buf...)
+	p := &pair{a: 1}
+	_ = p
+	fn := func() int { return len(e.out) }
+	_ = fn()
+	b := []byte("xy")
+	_ = b
+	_ = any(3)
+}

@@ -1,0 +1,50 @@
+// Package callgraph exercises every edge kind the builder records:
+// direct calls, type-checker-resolved method calls, interface dispatch
+// fan-out, method values, function names passed as arguments, function
+// literals attributed to their enclosing declaration, and go statements.
+package callgraph
+
+// Doer is the dispatch interface; A and B implement it.
+type Doer interface{ Do() }
+
+// A implements Doer with a value receiver.
+type A struct{}
+
+// Do satisfies Doer.
+func (A) Do() {}
+
+// B implements Doer with a pointer receiver.
+type B struct{}
+
+// Do satisfies Doer.
+func (*B) Do() {}
+
+func helper() {}
+
+// CallDirect is a plain static call.
+func CallDirect() { helper() }
+
+// CallMethod resolves through the type checker to A.Do.
+func CallMethod(a A) { a.Do() }
+
+// CallInterface dispatches: the graph fans out to every implementation.
+func CallInterface(d Doer) { d.Do() }
+
+// MethodValue hands a bound method around as a value: a reference edge.
+func MethodValue(a A) func() { return a.Do }
+
+// RefByName passes a function name as an argument: a reference edge.
+func RefByName() { use(helper) }
+
+func use(fn func()) { fn() }
+
+// FuncLitArg calls through a literal; the literal's body is attributed
+// to FuncLitArg itself, so the helper edge originates here.
+func FuncLitArg() {
+	apply(func() { helper() })
+}
+
+func apply(fn func()) { fn() }
+
+// Spawn starts a direct call on a new goroutine.
+func Spawn() { go helper() }

@@ -1,0 +1,3 @@
+package callgraph
+
+func mark() {}

@@ -1,0 +1,12 @@
+//go:build race
+
+package callgraph
+
+const tag = "race"
+
+// Gated exists under both build constraints; either variant calls mark,
+// so the edge below survives whichever file the loader selects.
+func Gated() string {
+	mark()
+	return tag
+}

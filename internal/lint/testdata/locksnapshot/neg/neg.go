@@ -1,0 +1,45 @@
+// Package locksnapshotneg models the blessed snapshot discipline: every
+// guarded touch sits inside a Lock/Unlock span (deferred unlocks extend
+// the span to the end of the function), unguarded fields above the mutex
+// stay free, and a configured helper is blessed wholesale.
+package locksnapshotneg
+
+import "sync"
+
+type snapshot struct{ requests uint64 }
+
+// member guards published with mu: fields below the mutex are guarded.
+type member struct {
+	id        int
+	mu        sync.Mutex
+	published snapshot
+}
+
+// Publish replaces the snapshot under the lock, carrying the request
+// count forward inside the span.
+func (m *member) Publish(s snapshot) {
+	m.mu.Lock()
+	s.requests = m.published.requests + 1
+	m.published = s
+	m.mu.Unlock()
+}
+
+// Read copies the snapshot under a deferred unlock.
+func (m *member) Read() snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.published
+}
+
+// ID reads a field above the mutex, which is not guarded.
+func (m *member) ID() int { return m.id }
+
+// aggregate is blessed in the corpus config, standing in for the
+// ledger-style helpers that own the discipline wholesale.
+func aggregate(ms []*member) uint64 {
+	var total uint64
+	for _, m := range ms {
+		total += m.published.requests
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Package locksnapshotpos models snapshot touches outside the owning
+// mutex: a read before the lock, a write after the unlock, and a
+// publish that computes from the snapshot before entering the span —
+// the exact races the locksnapshot analyzer exists to catch.
+package locksnapshotpos
+
+import "sync"
+
+type snapshot struct{ requests uint64 }
+
+// member guards published with mu: fields below the mutex are guarded.
+type member struct {
+	id        int
+	mu        sync.Mutex
+	published snapshot
+}
+
+// BadRead reads the snapshot without ever taking the lock.
+func (m *member) BadRead() uint64 {
+	return m.published.requests
+}
+
+// BadWrite touches the snapshot again after releasing the lock.
+func (m *member) BadWrite(s snapshot) {
+	m.mu.Lock()
+	m.published = s
+	m.mu.Unlock()
+	m.published.requests++
+}
+
+// BadCarry reads the old snapshot before the lock span opens.
+func (m *member) BadCarry(s snapshot) {
+	s.requests = m.published.requests + 1
+	m.mu.Lock()
+	m.published = s
+	m.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+// Package poolconfineneg models the blessed checkout discipline: a
+// deferred return, synchronous helpers, and error-path exits that bail
+// before the checkout ever succeeds.
+package poolconfineneg
+
+import "errors"
+
+// Engine is the pooled resource.
+type Engine struct{ n int }
+
+// Pool is the corpus pool.
+type Pool struct {
+	idle   chan *Engine
+	closed bool
+}
+
+// NewPool is blessed: only it may wrap engines into the pool.
+func NewPool(k int) *Pool {
+	p := &Pool{idle: make(chan *Engine, k)}
+	for i := 0; i < k; i++ {
+		p.idle <- &Engine{}
+	}
+	return p
+}
+
+func (p *Pool) acquire() *Engine  { return <-p.idle }
+func (p *Pool) release(e *Engine) { p.idle <- e }
+
+// Do is the canonical shape: checkout, deferred return, synchronous use
+// on the calling goroutine only.
+func (p *Pool) Do(fn func(*Engine) error) error {
+	if p.closed {
+		return errors.New("pool closed")
+	}
+	e := p.acquire()
+	defer p.release(e)
+	return run(e, fn)
+}
+
+// run is a synchronous helper: passing the engine down the call stack is
+// fine, the confinement is per goroutine, not per function.
+func run(e *Engine, fn func(*Engine) error) error {
+	e.n++
+	return fn(e)
+}
+
+// Explicit returns the engine on the single exit path without defer.
+func (p *Pool) Explicit() int {
+	e := p.acquire()
+	n := e.n
+	p.release(e)
+	return n
+}

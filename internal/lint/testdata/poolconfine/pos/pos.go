@@ -1,0 +1,70 @@
+// Package poolconfinepos models every escape of a pooled engine the
+// poolconfine analyzer forbids: field stores, collection stores, channel
+// sends, goroutine handoffs, missing returns, and use after return.
+package poolconfinepos
+
+// Engine is the pooled resource.
+type Engine struct{ n int }
+
+// Pool is the corpus pool; acquire/release are its configured
+// checkout/return functions and NewPool its blessed constructor.
+type Pool struct {
+	idle chan *Engine
+	leak *Engine
+}
+
+// NewPool is blessed: only it may wrap engines into the pool.
+func NewPool(k int) *Pool {
+	p := &Pool{idle: make(chan *Engine, k)}
+	for i := 0; i < k; i++ {
+		p.idle <- &Engine{}
+	}
+	return p
+}
+
+func (p *Pool) acquire() *Engine  { return <-p.idle }
+func (p *Pool) release(e *Engine) { p.idle <- e }
+
+// BadStore parks the checked-out engine in a field.
+func (p *Pool) BadStore() {
+	e := p.acquire()
+	p.leak = e
+	p.release(e)
+}
+
+// BadCollect parks the engine in a caller-visible map.
+func (p *Pool) BadCollect(m map[int]*Engine) {
+	e := p.acquire()
+	m[0] = e
+	p.release(e)
+}
+
+// BadSend leaks the engine over an unblessed channel.
+func (p *Pool) BadSend(ch chan *Engine) {
+	e := p.acquire()
+	ch <- e
+	p.release(e)
+}
+
+// BadGo hands the engine to another goroutine by capture and by value.
+func (p *Pool) BadGo() {
+	e := p.acquire()
+	go func() { e.n++ }()
+	go touch(e)
+	p.release(e)
+}
+
+func touch(e *Engine) { e.n++ }
+
+// BadLeakExit checks out without ever returning to the pool.
+func (p *Pool) BadLeakExit() int {
+	e := p.acquire()
+	return e.n
+}
+
+// BadUseAfter touches the engine after handing it back.
+func (p *Pool) BadUseAfter() int {
+	e := p.acquire()
+	p.release(e)
+	return e.n
+}

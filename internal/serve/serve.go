@@ -73,15 +73,18 @@ type snapshot struct {
 }
 
 // publish refreshes the member's snapshot from its engine. Called by the
-// goroutine holding the engine, immediately before returning it.
+// goroutine holding the engine, immediately before returning it. The
+// request count is carried over inside the lock span: reading
+// m.published outside it would race with a concurrent Ledger().
 func (m *member) publish() {
-	snap := snapshot{
-		counters: m.eng.Counters(),
-		stats:    m.eng.Stats(),
+	c := m.eng.Counters()
+	st := m.eng.Stats()
+	m.mu.Lock()
+	m.published = snapshot{
+		counters: c,
+		stats:    st,
 		requests: m.published.requests + 1,
 	}
-	m.mu.Lock()
-	m.published = snap
 	m.mu.Unlock()
 }
 
