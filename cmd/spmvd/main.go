@@ -33,6 +33,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -151,7 +152,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		radix      = fs.Uint("q", 4, "PRaP radix bits (2^q merge cores)")
 		workers    = fs.Int("workers", 1, "step-1 worker goroutines per engine")
 		mergeWork  = fs.Int("merge-workers", 1, "step-2 merge goroutines per engine")
-		smoke      = fs.Bool("smoke", false, "self-check: serve a small graph, run PageRank over HTTP, verify the /metrics scrape against a direct engine run, exit")
+		maxBatch   = fs.Int("batch", 1, "max same-matrix /v1/spmv requests coalesced into one block flush (1 disables batching)")
+		batchWin   = fs.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for same-matrix company before its batch flushes")
+		smoke      = fs.Bool("smoke", false, "self-check: serve a small graph, run PageRank over HTTP plus a coalesced SpMV batch, verify the /metrics scrape against a direct engine run, exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -181,7 +184,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "spmvd: matrix %s: %v\n", m.name, err)
 			return 1
 		}
-		p, err := serve.NewPool(serve.PoolConfig{Name: m.name, Matrix: a, Engine: cfg, Size: *poolSize, MaxQueue: *queue})
+		p, err := serve.NewPool(serve.PoolConfig{
+			Name: m.name, Matrix: a, Engine: cfg, Size: *poolSize, MaxQueue: *queue,
+			MaxBatch: *maxBatch, BatchWindow: *batchWin,
+		})
 		if err != nil {
 			fmt.Fprintln(stderr, "spmvd:", err)
 			return 1
@@ -259,7 +265,14 @@ func runSmoke(stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("%v", err)
 	}
-	p, err := serve.NewPool(serve.PoolConfig{Name: "smoke", Matrix: a, Engine: smokeConfig(), Size: 2, MaxQueue: 4})
+	// Batching on with a wide window: the four concurrent SpMV requests
+	// fired below hit the count trigger (MaxBatch) long before the timer,
+	// so they deterministically coalesce into one multi-request flush.
+	const smokeBatch = 4
+	p, err := serve.NewPool(serve.PoolConfig{
+		Name: "smoke", Matrix: a, Engine: smokeConfig(), Size: 2, MaxQueue: 4,
+		MaxBatch: smokeBatch, BatchWindow: 2 * time.Second,
+	})
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -338,7 +351,93 @@ func runSmoke(stdout, stderr io.Writer) int {
 	if !bytes.Contains(scraped, []byte(`mwmerge_serve_requests_total{pool="smoke"} 1`)) {
 		return fail("scrape missing the serve request counter:\n%s", scraped)
 	}
-	fmt.Fprintf(stdout, "spmvd smoke: OK: %d iterations bit-identical, scraped ledger equals direct engine (%d bytes of exposition)\n",
-		out.Iterations, want.Len())
+
+	// Phase 2: fire smokeBatch concurrent SpMV requests at the same
+	// matrix. The batcher must coalesce them into ONE SpMVBlock flush —
+	// observable on /metrics — whose responses are bit-identical to a
+	// direct block run and whose ledger charges the matrix stream once.
+	xs := make([]vector.Dense, smokeBatch)
+	for i := range xs {
+		xs[i] = vector.NewDense(nodes)
+		for j := range xs[i] {
+			xs[i][j] = float64((j+i*7)%5) / 4
+		}
+	}
+	got := make([]vector.Dense, smokeBatch)
+	errs := make([]error, smokeBatch)
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := json.Marshal(map[string]any{"matrix": "smoke", "x": xs[i]})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := http.Post(base+"/v1/spmv", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var out struct {
+				Y vector.Dense `json:"y"`
+			}
+			if err := json.Unmarshal(raw, &out); err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = out.Y
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fail("batched spmv %d: %v", i, err)
+		}
+	}
+	blk, err := eng.SpMVBlock(a, xs, nil)
+	if err != nil {
+		return fail("direct block engine: %v", err)
+	}
+	for i := range got {
+		if d := got[i].MaxAbsDiff(blk.Ys[i]); d != 0 {
+			return fail("batched spmv %d diverged from direct block run by %g", i, d)
+		}
+	}
+	scrape2, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fail("second scrape: %v", err)
+	}
+	scraped2, err := io.ReadAll(scrape2.Body)
+	scrape2.Body.Close()
+	if err != nil {
+		return fail("second scrape read: %v", err)
+	}
+	var want2 bytes.Buffer
+	if err := report.NewReport(report.Meta{Workload: "spmvd"}, eng.Counters()).WritePrometheus(&want2); err != nil {
+		return fail("%v", err)
+	}
+	if !bytes.HasPrefix(scraped2, want2.Bytes()) {
+		return fail("post-batch /metrics ledger does not match the direct PageRank + SpMVBlock run — the matrix was not charged once per flush\n--- scraped ---\n%s--- want prefix ---\n%s", scraped2, want2.String())
+	}
+	// At least one multi-request flush: all requests went through one
+	// coalesced SpMVBlock call.
+	if !bytes.Contains(scraped2, []byte(`mwmerge_serve_batch_flushes_total{pool="smoke"} 1`)) ||
+		!bytes.Contains(scraped2, []byte(fmt.Sprintf(`mwmerge_serve_batched_requests_total{pool="smoke"} %d`, smokeBatch))) {
+		return fail("scrape does not show one %d-request coalesced flush:\n%s", smokeBatch, scraped2)
+	}
+	fmt.Fprintf(stdout, "spmvd smoke: OK: %d iterations bit-identical, %d spmv requests coalesced into one flush, scraped ledger equals direct engine (%d bytes of exposition)\n",
+		out.Iterations, smokeBatch, want2.Len())
 	return 0
 }

@@ -79,6 +79,7 @@ func Registry() []Experiment {
 		{ID: "designspace", Title: "Co-design: (p, K, lanes) sweep under the 7.5 mm2 / 11 MiB budget", Run: RunDesignSpace},
 		{ID: "alloc-steady", Title: "Steady state: iterative-SpMV allocations per iteration vs budget", Run: RunAllocSteady},
 		{ID: "host-baseline", Title: "Grounding: measured host-CPU SpMV vs modeled COTS and accelerator", Run: RunHostBaseline},
+		{ID: "block-spmv", Title: "Block SpMV: multi-RHS matrix-stream amortization vs k sequential runs", Run: RunBlockSpMV},
 		{ID: "functional", Title: "Functional cross-check: Two-Step vs reference on scaled datasets", Run: RunFunctional},
 	}
 }

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/report"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+// blockKs are the batch widths the block-spmv experiment sweeps.
+var blockKs = [...]int{1, 2, 4, 8}
+
+// RunBlockSpMV measures the multi-vector amortization of block SpMV
+// (DESIGN.md §11): SpMVBlock plans stripes once and streams the matrix —
+// stripe values, (VLDI-compressed) meta-data, and the detector meta pass —
+// once per batch, while vector-dependent traffic (x segments, v_k round
+// trips, y writes) scales with the number of right-hand sides k. The
+// experiment sweeps k over blockKs and, besides printing the amortization
+// curve, enforces the datapath invariants on every point:
+//
+//   - bit-identity: every block column equals the sequential SpMV of the
+//     same right-hand side on a fresh engine;
+//   - ledger equality: block ledger == k x sequential ledger minus
+//     (k-1) x the single-run matrix share (Traffic.MatrixBytes and the
+//     Mat{Compressed,Uncompressed}Bytes footprints);
+//   - delta split: the per-request Deltas sum to the whole batch movement.
+func RunBlockSpMV(w io.Writer, opt Options) error {
+	scale := opt.Scale
+	if scale > 1<<14 {
+		scale = 1 << 14
+	}
+	codec, err := vldi.NewCodec(8)
+	if err != nil {
+		return err
+	}
+	mkEngine := func() (*core.Engine, error) {
+		return core.New(core.Config{
+			ScratchpadBytes: 16 << 10,
+			ValueBytes:      8,
+			MetaBytes:       8,
+			Lanes:           8,
+			Merge:           prap.Config{Q: 3, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: opt.MergeWorkers},
+			HBM:             defaultHBM(),
+			VectorCodec:     codec,
+			MatrixCodec:     codec,
+			Recorder:        opt.Recorder,
+		})
+	}
+	a, err := graph.ErdosRenyi(scale, 6, opt.Seed)
+	if err != nil {
+		return err
+	}
+
+	t := newTable("k", "Block total (MB)", "k x seq (MB)", "Saved (MB)", "Matrix amortized", "Bytes/RHS (MB)")
+	var matrixShare uint64
+	for _, k := range blockKs {
+		xs := make([]vector.Dense, k)
+		for i := range xs {
+			xs[i] = randomDense(a.Cols, opt.Seed+int64(i)+1)
+		}
+
+		// Sequential reference: k standalone SpMV calls on one fresh
+		// engine. The first run's delta is the single-run ledger; every
+		// run charges the identical matrix share again.
+		seqEng, err := mkEngine()
+		if err != nil {
+			return err
+		}
+		ys := make([]vector.Dense, k)
+		for i, x := range xs {
+			if ys[i], err = seqEng.SpMV(a, x, nil); err != nil {
+				return err
+			}
+		}
+		seqTotal := seqEng.Counters()
+		var single report.Counters
+		{
+			e, err := mkEngine()
+			if err != nil {
+				return err
+			}
+			if _, err := e.SpMV(a, xs[0], nil); err != nil {
+				return err
+			}
+			single = e.Counters()
+		}
+		matrixShare = single.Traffic.MatrixBytes
+
+		blkEng, err := mkEngine()
+		if err != nil {
+			return err
+		}
+		res, err := blkEng.SpMVBlock(a, xs, nil)
+		if err != nil {
+			return err
+		}
+		for i := range ys {
+			if d := res.Ys[i].MaxAbsDiff(ys[i]); d != 0 {
+				return fmt.Errorf("bench: block column %d of k=%d differs from sequential SpMV by %g", i, k, d)
+			}
+		}
+		blkTotal := blkEng.Counters()
+
+		var split report.Counters
+		for _, d := range res.Deltas {
+			split = split.Add(d)
+		}
+		if split != blkTotal {
+			return fmt.Errorf("bench: k=%d per-request deltas do not sum to the batch ledger", k)
+		}
+
+		want := seqTotal
+		want.Traffic.MatrixBytes -= uint64(k-1) * single.Traffic.MatrixBytes
+		want.MatCompressedBytes -= uint64(k-1) * single.MatCompressedBytes
+		want.MatUncompressedBytes -= uint64(k-1) * single.MatUncompressedBytes
+		if blkTotal != want {
+			return fmt.Errorf("bench: k=%d block ledger violates the once-per-batch rule:\n got  %+v\n want %+v", k, blkTotal, want)
+		}
+
+		blk := blkTotal.Traffic.Total()
+		seq := seqTotal.Traffic.Total()
+		t.add(fmt.Sprintf("%d", k),
+			fmtMB(blk), fmtMB(seq), fmtMB(seq-blk),
+			fmt.Sprintf("%dx -> 1x", k),
+			fmtMB(blk/uint64(k)))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d nodes, degree 6, VLDI-8 on both streams; matrix share %s/run.\n", scale, fmtMB(matrixShare))
+	fmt.Fprintf(w, "Every point verified: columns bit-identical to sequential SpMV; block ledger == k x sequential - (k-1) x matrix share; per-request deltas sum to the batch.\n")
+	return nil
+}
+
+// fmtMB renders a byte count in MB with two decimals.
+func fmtMB(b uint64) string { return fmt.Sprintf("%.2f", float64(b)/1e6) }

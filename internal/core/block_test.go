@@ -1,0 +1,332 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mwmerge/internal/graph"
+	"mwmerge/internal/hdn"
+	"mwmerge/internal/report"
+	"mwmerge/internal/vector"
+	"mwmerge/internal/vldi"
+)
+
+// blockTestConfigs returns named engine configurations spanning the
+// feature matrix block SpMV must stay bit-identical under: plain, VLDI
+// on both streams, HDN routing, parallel step-1 workers, and parallel
+// merge cores.
+func blockTestConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	codec, err := vldi.NewCodec(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := testConfig()
+	withVLDI := testConfig()
+	withVLDI.VectorCodec = codec
+	withVLDI.MatrixCodec = codec
+	withHDN := testConfig()
+	withHDN.HDN = &hdn.Config{Threshold: 8, LoadFactor: 0.1, Hashes: 4}
+	workers := testConfig()
+	workers.Workers = 4
+	mergeWorkers := testConfig()
+	mergeWorkers.Merge.MergeWorkers = 3
+	return map[string]Config{
+		"plain":        plain,
+		"vldi":         withVLDI,
+		"hdn":          withHDN,
+		"workers":      workers,
+		"mergeWorkers": mergeWorkers,
+	}
+}
+
+// TestSpMVBlockK1MatchesSpMV pins the degenerate batch: a k=1 block run
+// must be indistinguishable from SpMV — output bits, traffic ledger,
+// and statistics — and its single delta must carry the whole movement.
+func TestSpMVBlockK1MatchesSpMV(t *testing.T) {
+	a, err := graph.ErdosRenyi(600, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(a.Cols, 8)
+	yIn := randomX(a.Rows, 9)
+
+	for name, cfg := range blockTestConfigs(t) {
+		scalar, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scalar.SpMV(a, x, yIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		blk, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := blk.SpMVBlock(a, []vector.Dense{x}, []vector.Dense{yIn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := res.Ys[0].MaxAbsDiff(want); d != 0 {
+			t.Errorf("%s: k=1 block output differs from SpMV by %g", name, d)
+		}
+		if blk.Counters() != scalar.Counters() {
+			t.Errorf("%s: k=1 block ledger differs:\n got %+v\nwant %+v", name, blk.Counters(), scalar.Counters())
+		}
+		if !reflect.DeepEqual(blk.Stats(), scalar.Stats()) {
+			t.Errorf("%s: k=1 block stats differ:\n got %+v\nwant %+v", name, blk.Stats(), scalar.Stats())
+		}
+		if res.Deltas[0] != blk.Counters() {
+			t.Errorf("%s: k=1 delta does not carry the whole movement", name)
+		}
+	}
+}
+
+// TestSpMVBlockMatchesSequential checks the block invariants for k=3
+// under every configuration: bit-identity of each column against a
+// sequential run, the once-per-batch ledger rule (block == k sequential
+// minus (k-1)x the matrix share, including the HDN filter build and
+// matrix-meta VLDI footprints), and the per-column delta split.
+func TestSpMVBlockMatchesSequential(t *testing.T) {
+	const k = 3
+	a, err := graph.ErdosRenyi(700, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]vector.Dense, k)
+	yIns := make([]vector.Dense, k)
+	for c := range xs {
+		xs[c] = randomX(a.Cols, int64(20+c))
+		yIns[c] = randomX(a.Rows, int64(30+c))
+	}
+
+	for name, cfg := range blockTestConfigs(t) {
+		// Single-run ledger: the matrix share every extra column saves.
+		one, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := one.SpMV(a, xs[0], yIns[0]); err != nil {
+			t.Fatal(err)
+		}
+		single := one.Counters()
+		singleStats := one.Stats()
+
+		seq, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]vector.Dense, k)
+		for c := range xs {
+			if want[c], err = seq.SpMV(a, xs[c], yIns[c]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		blk, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := blk.SpMVBlock(a, xs, yIns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if d := res.Ys[c].MaxAbsDiff(want[c]); d != 0 {
+				t.Errorf("%s: column %d differs from sequential SpMV by %g", name, c, d)
+			}
+		}
+
+		wantLedger := seq.Counters()
+		wantLedger.Traffic.MatrixBytes -= (k - 1) * single.Traffic.MatrixBytes
+		wantLedger.MatCompressedBytes -= (k - 1) * single.MatCompressedBytes
+		wantLedger.MatUncompressedBytes -= (k - 1) * single.MatUncompressedBytes
+		if blk.Counters() != wantLedger {
+			t.Errorf("%s: block ledger violates the once-per-batch rule:\n got  %+v\n want %+v", name, blk.Counters(), wantLedger)
+		}
+		if got, want := blk.Stats().HDNFilterBytes, singleStats.HDNFilterBytes; got != want {
+			t.Errorf("%s: HDN filter built %d bytes, want the single-run %d (once per batch)", name, got, want)
+		}
+		if got, want := blk.Stats().Stripes, k*singleStats.Stripes; got != want {
+			t.Errorf("%s: Stripes = %d, want %d (every column commits its stripes)", name, got, want)
+		}
+
+		var split report.Counters
+		for _, d := range res.Deltas {
+			split = split.Add(d)
+		}
+		if split != blk.Counters() {
+			t.Errorf("%s: per-column deltas do not sum to the batch ledger", name)
+		}
+		for c := 1; c < k; c++ {
+			if res.Deltas[c].Traffic.MatrixBytes != 0 {
+				t.Errorf("%s: column %d delta carries %d matrix bytes; the matrix stream belongs to column 0",
+					name, c, res.Deltas[c].Traffic.MatrixBytes)
+			}
+		}
+		if res.Deltas[0].Traffic.MatrixBytes != single.Traffic.MatrixBytes {
+			t.Errorf("%s: column 0 delta carries %d matrix bytes, want the full stream %d",
+				name, res.Deltas[0].Traffic.MatrixBytes, single.Traffic.MatrixBytes)
+		}
+	}
+}
+
+// TestSpMVBlockValidation exercises the block-specific error paths.
+func TestSpMVBlockValidation(t *testing.T) {
+	a, err := graph.ErdosRenyi(200, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomX(a.Cols, 1)
+	if _, err := e.SpMVBlock(a, nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := e.SpMVBlock(a, []vector.Dense{x, x}, []vector.Dense{nil}); err == nil {
+		t.Error("mismatched yIns length accepted")
+	}
+	if _, err := e.SpMVBlock(a, []vector.Dense{x, randomX(a.Cols+1, 2)}, nil); err == nil {
+		t.Error("wrong-dimension column accepted")
+	}
+	if _, err := e.SpMVBlock(a, []vector.Dense{x}, []vector.Dense{randomX(a.Rows-1, 2)}); err == nil {
+		t.Error("wrong-dimension y_in accepted")
+	}
+}
+
+// TestIterateBlockMatchesIterate pins block iteration against k
+// independent Iterate runs: bit-identical trajectories per column, and
+// rejection of the ITS overlap schedule (whose two-buffer pipeline is
+// single-column by construction).
+func TestIterateBlockMatchesIterate(t *testing.T) {
+	const k = 3
+	a, err := graph.ErdosRenyi(500, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0s := make([]vector.Dense, k)
+	for c := range x0s {
+		x0s[c] = randomX(a.Cols, int64(40+c))
+	}
+	opt := IterateOptions{Iterations: 4, Damping: 0.85}
+
+	want := make([]vector.Dense, k)
+	for c := range x0s {
+		e, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Iterate(a, x0s[c], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c] = r.X
+	}
+
+	blk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := blk.IterateBlock(a, x0s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != opt.Iterations {
+		t.Errorf("Iterations = %d, want %d", res.Iterations, opt.Iterations)
+	}
+	for c := range want {
+		if d := res.Xs[c].MaxAbsDiff(want[c]); d != 0 {
+			t.Errorf("column %d trajectory differs from Iterate by %g", c, d)
+		}
+	}
+
+	opt.Overlap = true
+	if _, err := blk.IterateBlock(a, x0s, opt); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("ITS overlap accepted by block iteration: %v", err)
+	}
+}
+
+// TestPageRankBlockMatchesPageRank checks both start modes: nil columns
+// (uniform start) must reproduce the sequential PageRank bit-exactly,
+// and arbitrary starts must match the k=1 block run of the same column.
+func TestPageRankBlockMatchesPageRank(t *testing.T) {
+	a, err := graph.ErdosRenyi(400, 4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		damping  = 0.85
+		tol      = 1e-8
+		maxIters = 50
+	)
+
+	seqEng, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRank, seqIters, err := seqEng.PageRank(a, damping, tol, maxIters, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := blk.PageRankBlock(a, []vector.Dense{nil, nil}, damping, tol, maxIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if d := res.Ranks[c].MaxAbsDiff(seqRank); d != 0 {
+			t.Errorf("uniform column %d differs from sequential PageRank by %g", c, d)
+		}
+		if res.Iterations[c] != seqIters {
+			t.Errorf("uniform column %d converged in %d iterations, want %d", c, res.Iterations[c], seqIters)
+		}
+	}
+
+	// Arbitrary starts: different columns converge at different
+	// iterations, exercising the active-set compaction. Each column must
+	// match its own single-column run exactly.
+	starts := []vector.Dense{nil, randomX(a.Cols, 51), randomX(a.Cols, 52)}
+	for c := range starts {
+		if starts[c] != nil {
+			// PageRank starts are distributions; keep them positive.
+			for i := range starts[c] {
+				if starts[c][i] < 0 {
+					starts[c][i] = -starts[c][i]
+				}
+			}
+		}
+	}
+	multi, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := multi.PageRankBlock(a, starts, damping, tol, maxIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range starts {
+		solo, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solo.PageRankBlock(a, starts[c:c+1], damping, tol, maxIters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.Ranks[c].MaxAbsDiff(want.Ranks[0]); d != 0 {
+			t.Errorf("column %d differs from its single-column run by %g", c, d)
+		}
+		if got.Iterations[c] != want.Iterations[0] {
+			t.Errorf("column %d: %d iterations, single-column run took %d", c, got.Iterations[c], want.Iterations[0])
+		}
+	}
+}

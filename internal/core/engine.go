@@ -33,14 +33,17 @@ type Engine struct {
 	// Steady-state memory reuse (scratch.go): the cached matrix plan,
 	// the two rotating step-1 banks, the dense free list, and the
 	// recycled pipeline handoff primitives. All are confined to the
-	// goroutine driving the engine's public methods.
-	plan      *enginePlan
-	banks     [2]stripeBank
-	bankIdx   int
-	denseFree []vector.Dense
-	gate      *segmentGate
-	nextCh    chan step1Result
-	frontier  frontierScratch
+	// goroutine driving the engine's public methods. denseFreeCap widens
+	// the free-list bound once a block entry point has run, so k-wide
+	// ping-pong buffers keep recycling (see denseFreeBound).
+	plan         *enginePlan
+	banks        [2]stripeBank
+	bankIdx      int
+	denseFree    []vector.Dense
+	denseFreeCap int
+	gate         *segmentGate
+	nextCh       chan step1Result
+	frontier     frontierScratch
 }
 
 // RunStats aggregates execution statistics across calls: every field
@@ -198,15 +201,25 @@ func (e *Engine) checkSpMV(a *matrix.COO, x, yIn vector.Dense) error {
 // through here (SpMSpV with its sparse x's logical dimension), so the
 // dense and frontier paths reject bad inputs with identical errors.
 func (e *Engine) checkOperands(a *matrix.COO, xDim uint64, yIn vector.Dense) error {
+	return e.cfg.CheckOperands(a, xDim, yIn)
+}
+
+// CheckOperands is the operand-dimension check every SpMV entry point
+// applies, exposed on Config (like CheckIterativeCapacity) so the
+// serving layer's batcher can pre-validate a request before it joins a
+// coalesced batch: a bad-dimension request is rejected alone, with
+// exactly the engine's error, instead of poisoning the shared SpMVBlock
+// call.
+func (c Config) CheckOperands(a *matrix.COO, xDim uint64, yIn vector.Dense) error {
 	if xDim != a.Cols {
 		return fmt.Errorf("core: x dimension %d != %d columns", xDim, a.Cols)
 	}
 	if yIn != nil && uint64(len(yIn)) != a.Rows {
 		return fmt.Errorf("core: y dimension %d != %d rows", len(yIn), a.Rows)
 	}
-	if a.Rows > e.cfg.MaxDimension() {
+	if a.Rows > c.MaxDimension() {
 		return fmt.Errorf("core: dimension %d exceeds engine capacity %d (ways %d x segment %d)",
-			a.Rows, e.cfg.MaxDimension(), e.cfg.Merge.Ways, e.cfg.SegmentWidth())
+			a.Rows, c.MaxDimension(), c.Merge.Ways, c.SegmentWidth())
 	}
 	return nil
 }
@@ -302,7 +315,7 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 			}
 			defer gate.consume()
 		}
-		outcomes[k] = e.stripeTask(w, k, stripes[k], x, det, &bank.stripes[k])
+		outcomes[k] = e.stripeTask(w, k, stripes[k], x, det, &bank.stripes[k], true)
 	}
 
 	workers := e.cfg.Workers
@@ -356,10 +369,19 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 // finishes, which the two-bank rotation guarantees).
 func (e *Engine) commitStep1(stripes []*matrix.Stripe, bank *stripeBank) ([][]types.Record, error) {
 	e.stats.Stripes += len(stripes)
-	lists := bank.lists
-	for k, out := range bank.outcomes {
+	if err := e.commitOutcomes(bank.outcomes, bank.lists); err != nil {
+		return nil, err
+	}
+	return bank.lists, nil
+}
+
+// commitOutcomes is the shared fold behind commitStep1 and the block
+// path's per-column commit: outcome k's accounting lands in the
+// persistent ledger/statistics and its records become lists[k].
+func (e *Engine) commitOutcomes(outcomes []stripeOutcome, lists [][]types.Record) error {
+	for k, out := range outcomes {
 		if out.err != nil {
-			return nil, out.err
+			return out.err
 		}
 		lists[k] = out.recs
 		e.charge(out.traffic)
@@ -373,19 +395,19 @@ func (e *Engine) commitStep1(stripes []*matrix.Stripe, bank *stripeBank) ([][]ty
 		e.stats.CompressedMatBytes += out.compMat
 		e.stats.UncompressedMatBytes += out.uncompMat
 	}
-	return lists, nil
+	return nil
 }
 
 // stripeTask runs one stripe's step 1, wrapped in a span on the
 // executing worker's lane when a recorder is attached — the per-lane
 // utilization behind the report's step-1 load-balance view.
-func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch) stripeOutcome {
+func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch, chargeMatrix bool) stripeOutcome {
 	if e.rec == nil {
-		return e.processStripe(s, x, det, scr)
+		return e.processStripe(s, x, det, scr, chargeMatrix)
 	}
 	sp := e.rec.StartSpan("step1/w"+strconv.Itoa(worker), "s"+strconv.Itoa(k))
 	defer sp.End()
-	return e.processStripe(s, x, det, scr)
+	return e.processStripe(s, x, det, scr, chargeMatrix)
 }
 
 // processStripeFresh is processStripe with a throwaway scratch slot.
@@ -396,13 +418,17 @@ func (e *Engine) stripeTask(worker, k int, s *matrix.Stripe, x vector.Dense, det
 // analyzer pin the iteration loop.
 func (e *Engine) processStripeFresh(s *matrix.Stripe, x vector.Dense, det *hdn.Detector) stripeOutcome {
 	var scr stripeScratch
-	return e.processStripe(s, x, det, &scr)
+	return e.processStripe(s, x, det, &scr, true)
 }
 
 // processStripe runs step 1 for one stripe and computes its full
 // accounting without touching engine state beyond scr, the stripe's
-// recycled scratch slot.
-func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch) stripeOutcome {
+// recycled scratch slot. chargeMatrix books the stripe's matrix stream
+// (values + meta-data); the block path passes false for every column
+// after the first, because the stripe stays resident while all k
+// columns consume it — the once-per-batch accounting rule (DESIGN.md
+// §11).
+func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detector, scr *stripeScratch, chargeMatrix bool) stripeOutcome {
 	var out stripeOutcome
 	xSeg := x[s.ColStart : s.ColStart+s.Width]
 	// x segment streamed into the scratchpad once per stripe.
@@ -420,14 +446,16 @@ func (e *Engine) processStripe(s *matrix.Stripe, x vector.Dense, det *hdn.Detect
 	// Matrix stripe stream: values plus (possibly VLDI-compressed)
 	// meta-data, with CSR vs RM-COO chosen by the §3.1 hypersparsity
 	// rule.
-	nnz := uint64(s.NNZ())
-	_, metaBytes := matrix.BestStripeFormat(s.Rows, nnz, e.cfg.MetaBytes)
-	out.uncompMat = metaBytes
-	if e.cfg.MatrixCodec != nil {
-		metaBytes = e.compressedStripeMeta(s)
+	if chargeMatrix {
+		nnz := uint64(s.NNZ())
+		_, metaBytes := matrix.BestStripeFormat(s.Rows, nnz, e.cfg.MetaBytes)
+		out.uncompMat = metaBytes
+		if e.cfg.MatrixCodec != nil {
+			metaBytes = e.compressedStripeMeta(s)
+		}
+		out.compMat = metaBytes
+		out.traffic.MatrixBytes += nnz*uint64(e.cfg.ValueBytes) + metaBytes
 	}
-	out.compMat = metaBytes
-	out.traffic.MatrixBytes += nnz*uint64(e.cfg.ValueBytes) + metaBytes
 
 	// Intermediate vector write (the DRAM half of the round trip).
 	wBytes, comp, uncomp := e.vecBytes(v.Recs)

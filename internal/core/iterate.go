@@ -164,38 +164,7 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 	}
 
 	n := a.Rows
-	// Column-normalize A so non-empty columns sum to 1.
-	colSum := make([]float64, n)
-	for _, ent := range a.Entries {
-		colSum[ent.Col] += ent.Val
-	}
-	norm := a.Clone()
-	for i, ent := range norm.Entries {
-		if colSum[ent.Col] != 0 {
-			norm.Entries[i].Val = ent.Val / colSum[ent.Col]
-		}
-	}
-	// Dangling columns (sinks) push no mass through A, so ‖A·x‖₁ < 1
-	// and rank mass would leak every iteration. Collect them once; each
-	// iteration redistributes their mass uniformly via the teleport
-	// base, keeping ‖x‖₁ = 1 exactly (up to rounding).
-	var dangling []uint64
-	for j, s := range colSum {
-		if s == 0 {
-			dangling = append(dangling, uint64(j))
-		}
-	}
-	// teleportBase evaluates iteration-dependent part of the update
-	// y = damping·A·x + base: teleport plus the dangling mass of the
-	// iteration's source vector, summed in index order on every
-	// schedule.
-	teleportBase := func(x vector.Dense) float64 {
-		mass := 0.0
-		for _, j := range dangling {
-			mass += x[j]
-		}
-		return (1-damping)/float64(n) + damping*mass/float64(n)
-	}
+	norm, dangling := pageRankSetup(a)
 
 	x := vector.NewDense(int(n))
 	x.Fill(1 / float64(n))
@@ -208,7 +177,7 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 	if overlap {
 		hooks := pipelineHooks{
 			update: func(_ int, src vector.Dense) func(vector.Dense) {
-				base := teleportBase(src)
+				base := teleportBase(src, dangling, damping, n)
 				return func(seg vector.Dense) { dampSegment(seg, damping, base) }
 			},
 			converged: func(_ int, y, src vector.Dense) bool {
@@ -229,7 +198,7 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 			e.putDense(y)
 			return nil, it, err
 		}
-		dampSegment(y, damping, teleportBase(x))
+		dampSegment(y, damping, teleportBase(x, dangling, damping, n))
 		delta := l1Delta(y, x)
 		e.putDense(x)
 		x = y
@@ -244,4 +213,45 @@ func (e *Engine) PageRank(a *matrix.COO, damping, tol float64, maxIters int, ove
 		e.recordIteration(it-1, iterStart)
 	}
 	return x, maxIters, nil
+}
+
+// pageRankSetup builds the PageRank operand from a: the column-normalized
+// clone (non-empty columns sum to 1) and the sorted dangling-column list.
+// Dangling columns (sinks) push no mass through A, so ‖A·x‖₁ < 1 and
+// rank mass would leak every iteration; each iteration redistributes
+// their mass uniformly via the teleport base, keeping ‖x‖₁ = 1 exactly
+// (up to rounding). Shared by PageRank and PageRankBlock so the
+// normalized values — and therefore the per-column numerics — cannot
+// drift between the scalar and block drivers.
+func pageRankSetup(a *matrix.COO) (*matrix.COO, []uint64) {
+	n := a.Rows
+	colSum := make([]float64, n)
+	for _, ent := range a.Entries {
+		colSum[ent.Col] += ent.Val
+	}
+	norm := a.Clone()
+	for i, ent := range norm.Entries {
+		if colSum[ent.Col] != 0 {
+			norm.Entries[i].Val = ent.Val / colSum[ent.Col]
+		}
+	}
+	var dangling []uint64
+	for j, s := range colSum {
+		if s == 0 {
+			dangling = append(dangling, uint64(j))
+		}
+	}
+	return norm, dangling
+}
+
+// teleportBase evaluates the iteration-dependent part of the update
+// y = damping·A·x + base: teleport plus the dangling mass of the
+// iteration's source vector, summed in index order on every schedule —
+// the summation-order anchor of the scalar/block bit-identity contract.
+func teleportBase(x vector.Dense, dangling []uint64, damping float64, n uint64) float64 {
+	mass := 0.0
+	for _, j := range dangling {
+		mass += x[j]
+	}
+	return (1-damping)/float64(n) + damping*mass/float64(n)
 }

@@ -147,8 +147,10 @@ func DefaultConfig() Config {
 			// them, and both reach the prap merge paths through
 			// Network.MergeInto. The entry points themselves are NOT
 			// roots: per-call warm-up (plan build, x0 clone, PageRank's
-			// normalization) may allocate by design.
-			"mwmerge/internal/core": {"Engine.spmvCompute", "Engine.iteratePipelined"},
+			// normalization) may allocate by design. spmvBlockCompute is
+			// the block counterpart of spmvCompute — the shared inner
+			// path of SpMVBlock/IterateBlock/PageRankBlock.
+			"mwmerge/internal/core": {"Engine.spmvCompute", "Engine.iteratePipelined", "Engine.spmvBlockCompute"},
 		},
 		AllocFreeWarm: map[string][]string{
 			// Arena-growth and first-use paths (DESIGN.md §9): they
@@ -175,13 +177,13 @@ func DefaultConfig() Config {
 		PoolPackage:       "mwmerge/internal/serve",
 		EngineTypePackage: "mwmerge/internal/core",
 		EngineTypeName:    "Engine",
-		PoolCheckoutFuncs: []string{"Pool.acquire"},
-		PoolReturnFuncs:   []string{"Pool.release"},
+		PoolCheckoutFuncs: []string{"Pool.acquire", "Pool.acquireBatch"},
+		PoolReturnFuncs:   []string{"Pool.release", "Pool.releaseBatch"},
 		BlessedPoolFuncs: map[string][]string{
-			"mwmerge/internal/serve": {"NewPool", "Pool.acquire", "Pool.release"},
+			"mwmerge/internal/serve": {"NewPool", "Pool.acquire", "Pool.release", "Pool.acquireBatch", "Pool.releaseBatch"},
 		},
 		SnapshotTypes: map[string][]string{
-			"mwmerge/internal/serve": {"member"},
+			"mwmerge/internal/serve": {"member", "batcher"},
 		},
 		BlessedSnapshotFuncs: map[string][]string{},
 	}

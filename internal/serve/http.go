@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -255,6 +256,10 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if p := s.pools[req.Matrix]; p != nil && p.Batching() {
+		s.handleSpMVBatched(w, r, p, &req)
+		return
+	}
 	s.run(w, r, req.requestCommon, "spmv", false, func(eng *core.Engine) (*response, error) {
 		y, err := eng.SpMV(s.pools[req.Matrix].a, req.X, req.YIn)
 		if err != nil {
@@ -262,6 +267,67 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		}
 		return &response{Y: y}, nil
 	})
+}
+
+// handleSpMVBatched is the /v1/spmv path for pools with coalescing
+// enabled. Admission — deadline sanity, capacity, operand dimensions —
+// happens per request up front, so a malformed request is rejected
+// alone, before it can join (and poison) a batch. The surviving request
+// is handed to the pool's batcher, which serves up to MaxBatch queued
+// requests with one SpMVBlock call on one member and splits the
+// per-request counter deltas back out; a request whose deadline expires
+// mid-window gets 503 while the rest of its batch completes normally.
+// Responses are bit-identical to the unbatched path.
+func (s *Server) handleSpMVBatched(w http.ResponseWriter, r *http.Request, p *Pool, req *spmvRequest) {
+	if req.DeadlineMS < 0 {
+		httpError(w, http.StatusBadRequest, "serve: negative deadline_ms")
+		return
+	}
+	if err := p.CheckCapacity(false); err != nil {
+		s.bump(&s.rejCapacity)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if err := p.cfg.CheckOperands(p.a, uint64(len(req.X)), req.YIn); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if d := s.deadlineFor(req.DeadlineMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	y, delta, err := p.batch.submit(ctx, req.X, req.YIn)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.bump(&s.rejQueue)
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDeadline):
+		s.bump(&s.rejDeadline)
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		resp := &response{Y: y}
+		if req.Report {
+			// The request's split of the batch delta: the column that
+			// streamed the matrix carries the whole batch's matrix+VLDI
+			// share (BlockResult.Deltas), so the reports of one flush sum
+			// to the flush's total ledger movement.
+			resp.Report = report.NewReport(report.Meta{
+				Workload:     "serve:spmv matrix=" + p.name,
+				Rows:         p.a.Rows,
+				Cols:         p.a.Cols,
+				NNZ:          uint64(p.a.NNZ()),
+				Workers:      p.cfg.Workers,
+				MergeWorkers: p.cfg.Merge.MergeWorkers,
+				MergeCores:   p.cfg.Merge.Cores(),
+			}, delta)
+		}
+		s.bump(&s.served)
+		writeJSON(w, http.StatusOK, resp)
+	}
 }
 
 func (s *Server) handleSpMSpV(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +439,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP mwmerge_serve_pool_engines Warmed engines per pool.\n# TYPE mwmerge_serve_pool_engines gauge\n")
 	for _, name := range s.names {
 		fmt.Fprintf(w, "mwmerge_serve_pool_engines{pool=%q} %d\n", name, s.pools[name].Size())
+	}
+	s.writeBatchMetrics(w)
+}
+
+// writeBatchMetrics renders the batcher counters of every coalescing
+// pool: flush and batched-request totals plus the requests-per-flush
+// occupancy histogram, which is how the matrix amortization — one A
+// stream serving many requests — stays observable in production, not
+// just in benches. Pools without batching emit nothing.
+func (s *Server) writeBatchMetrics(w io.Writer) {
+	var batching []string
+	for _, name := range s.names {
+		if s.pools[name].Batching() {
+			batching = append(batching, name)
+		}
+	}
+	if len(batching) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP mwmerge_serve_batch_flushes_total Coalesced SpMVBlock flushes by pool.\n# TYPE mwmerge_serve_batch_flushes_total counter\n")
+	for _, name := range batching {
+		bs, _ := s.pools[name].BatchStats()
+		fmt.Fprintf(w, "mwmerge_serve_batch_flushes_total{pool=%q} %d\n", name, bs.Flushes)
+	}
+	fmt.Fprintf(w, "# HELP mwmerge_serve_batched_requests_total Requests served through coalesced flushes by pool.\n# TYPE mwmerge_serve_batched_requests_total counter\n")
+	for _, name := range batching {
+		bs, _ := s.pools[name].BatchStats()
+		fmt.Fprintf(w, "mwmerge_serve_batched_requests_total{pool=%q} %d\n", name, bs.Requests)
+	}
+	fmt.Fprintf(w, "# HELP mwmerge_serve_batch_occupancy Requests coalesced per flush.\n# TYPE mwmerge_serve_batch_occupancy histogram\n")
+	for _, name := range batching {
+		bs, _ := s.pools[name].BatchStats()
+		cum := uint64(0)
+		for i, ub := range occupancyBuckets {
+			cum += bs.Occupancy[i]
+			fmt.Fprintf(w, "mwmerge_serve_batch_occupancy_bucket{pool=%q,le=\"%d\"} %d\n", name, ub, cum)
+		}
+		cum += bs.Occupancy[len(occupancyBuckets)]
+		fmt.Fprintf(w, "mwmerge_serve_batch_occupancy_bucket{pool=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "mwmerge_serve_batch_occupancy_sum{pool=%q} %d\n", name, bs.Requests)
+		fmt.Fprintf(w, "mwmerge_serve_batch_occupancy_count{pool=%q} %d\n", name, bs.Flushes)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mwmerge/internal/core"
 	"mwmerge/internal/matrix"
@@ -51,6 +52,16 @@ type PoolConfig struct {
 	// the Size already being served; further requests are rejected with
 	// ErrQueueFull. 0 rejects as soon as every engine is busy.
 	MaxQueue int
+	// MaxBatch, when ≥ 2, enables same-matrix request coalescing: up to
+	// MaxBatch queued /v1/spmv requests are served by one SpMVBlock call
+	// on a single member, charging the matrix stream once per flush
+	// instead of once per request. 0 or 1 disables batching.
+	MaxBatch int
+	// BatchWindow is how long the batcher holds the first queued request
+	// waiting for same-matrix company before flushing what accumulated
+	// (default 2ms when batching is enabled). Reaching MaxBatch flushes
+	// immediately, window notwithstanding.
+	BatchWindow time.Duration
 }
 
 // member is one pool engine plus its last published accounting snapshot.
@@ -73,17 +84,21 @@ type snapshot struct {
 }
 
 // publish refreshes the member's snapshot from its engine. Called by the
-// goroutine holding the engine, immediately before returning it. The
-// request count is carried over inside the lock span: reading
-// m.published outside it would race with a concurrent Ledger().
-func (m *member) publish() {
+// goroutine holding the engine, immediately before returning it.
+func (m *member) publish() { m.publishN(1) }
+
+// publishN is publish crediting n completed requests in one snapshot —
+// the batched path's whole-flush publication. The request count is
+// carried over inside the lock span: reading m.published outside it
+// would race with a concurrent Ledger().
+func (m *member) publishN(n uint64) {
 	c := m.eng.Counters()
 	st := m.eng.Stats()
 	m.mu.Lock()
 	m.published = snapshot{
 		counters: c,
 		stats:    st,
-		requests: m.published.requests + 1,
+		requests: m.published.requests + n,
 	}
 	m.mu.Unlock()
 }
@@ -96,6 +111,7 @@ type Pool struct {
 	members []*member
 	idle    chan *member
 	waiting chan struct{} // queue tokens; capacity = MaxQueue
+	batch   *batcher      // non-nil when MaxBatch enabled coalescing
 }
 
 // NewPool builds and warms a pool: every member runs one SpMV against
@@ -120,6 +136,12 @@ func NewPool(pc PoolConfig) (*Pool, error) {
 	if pc.MaxQueue < 0 {
 		return nil, fmt.Errorf("serve: pool %q: negative queue depth", pc.Name)
 	}
+	if pc.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: pool %q: negative batch size", pc.Name)
+	}
+	if pc.BatchWindow < 0 {
+		return nil, fmt.Errorf("serve: pool %q: negative batch window", pc.Name)
+	}
 	p := &Pool{
 		name:    pc.Name,
 		a:       pc.Matrix,
@@ -140,6 +162,13 @@ func NewPool(pc PoolConfig) (*Pool, error) {
 		m := &member{eng: eng}
 		p.members = append(p.members, m)
 		p.idle <- m
+	}
+	if pc.MaxBatch >= 2 {
+		window := pc.BatchWindow
+		if window == 0 {
+			window = 2 * time.Millisecond
+		}
+		p.batch = &batcher{p: p, window: window, maxBatch: pc.MaxBatch}
 	}
 	return p, nil
 }

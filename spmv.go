@@ -71,6 +71,20 @@ type (
 	PRaPConfig = prap.Config
 )
 
+// Block (multi-vector) SpMV types (DESIGN.md §11): one matrix pass
+// applied to k right-hand sides, charging the matrix stream once per
+// batch while vector-side traffic scales with k.
+type (
+	// BlockResult reports Engine.SpMVBlock: the k outputs and the
+	// per-column ledger deltas the batch splits into.
+	BlockResult = core.BlockResult
+	// IterateBlockResult reports Engine.IterateBlock.
+	IterateBlockResult = core.IterateBlockResult
+	// PageRankBlockResult reports Engine.PageRankBlock: per-column ranks
+	// and convergence iterations for multi-source runs.
+	PageRankBlockResult = core.PageRankBlockResult
+)
+
 // Observability types (see DESIGN.md §8). Attach a RunRecorder via
 // EngineConfig.Recorder to collect wall-clock span lanes and per-iteration
 // ledger counters, then Build a RunReport and render it as JSON,
