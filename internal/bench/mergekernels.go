@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"time"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/merge"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+// RunMergeKernels compares the two intra-core merge-accumulate kernels
+// — the loser tree and the diagonal-partitioned Merge Path (DESIGN.md
+// §12) — on uniform and skewed intermediate-vector shapes, with bitwise
+// identity of every output record enforced: a divergence is an error,
+// not a table footnote. A second sweep runs the full engine datapath at
+// several Workers × MergeWorkers settings and requires the dense
+// result, the traffic ledger, and the run stats to be equal across
+// kernels.
+func RunMergeKernels(w io.Writer, opt Options) error {
+	scale := opt.Scale
+	if scale > 1<<17 {
+		scale = 1 << 17
+	}
+
+	type workload struct {
+		name string
+		mk   func() (*matrix.COO, error)
+	}
+	bits := uint(math.Round(math.Log2(float64(scale))))
+	workloads := []workload{
+		{"ER-uniform-d8", func() (*matrix.COO, error) { return graph.ErdosRenyi(scale, 8, opt.Seed) }},
+		{"Zipf-skew-d8", func() (*matrix.COO, error) { return graph.Zipf(scale, 8, 1.8, opt.Seed) }},
+		{"RMAT-G500-d8", func() (*matrix.COO, error) { return graph.RMAT(bits, 8, graph.Graph500Params(), opt.Seed) }},
+	}
+
+	t := newTable("Workload", "Lists", "Records", "Reps", "Loser tree (ms)", "Merge path (ms)", "Speedup", "Identical")
+	var skewed *matrix.COO
+	for _, wl := range workloads {
+		m, err := wl.mk()
+		if err != nil {
+			return err
+		}
+		if wl.name == "Zipf-skew-d8" {
+			skewed = m
+		}
+		// ~64 stripes gives a K-way merge wide enough to exercise the
+		// reduction tree; skewed graphs leave the stripe lengths wildly
+		// unequal, which is the imbalance the Merge Path kernel targets.
+		lists, err := stripeLists(m, uint64(m.Rows)/64+1)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, l := range lists {
+			total += len(l)
+		}
+		reps := 1
+		if total > 0 {
+			reps = int(4_000_000 / uint64(total))
+		}
+		if reps < 3 {
+			reps = 3
+		}
+		if reps > 200 {
+			reps = 200
+		}
+
+		var lt merge.Workspace
+		var mp merge.MergePathWorkspace
+		var ltOut, mpOut []types.Record
+		ltMS := timeKernel(reps, func() { ltOut = lt.MergeAccumulateInto(ltOut, lists) })
+		mpMS := timeKernel(reps, func() { mpOut = mp.MergeAccumulateInto(mpOut, lists) })
+		if err := recordsBitIdentical(ltOut, mpOut); err != nil {
+			return fmt.Errorf("merge-kernels: %s: %w", wl.name, err)
+		}
+		t.add(wl.name,
+			fmt.Sprintf("%d", len(lists)),
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", reps),
+			fmt.Sprintf("%.2f", ltMS),
+			fmt.Sprintf("%.2f", mpMS),
+			fmt.Sprintf("%.2fx", ltMS/mpMS),
+			"yes")
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+
+	// Engine-level identity sweep on the skewed workload: the kernel
+	// knob must be invisible in the result, the off-chip ledger, and the
+	// run stats at every parallelism setting.
+	fmt.Fprintln(w, "\nEngine identity sweep (Zipf-skew-d8, mergepath vs losertree):")
+	x := randomDense(uint64(skewed.Cols), opt.Seed+1)
+	for _, ws := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {2, 0}} {
+		workers, mergeWorkers := ws[0], ws[1]
+		run := func(kernel prap.MergeKernel) (got vector.Dense, traffic mem.Traffic, stats core.RunStats, err error) {
+			cfg := core.Config{
+				ScratchpadBytes: 64 << 10,
+				ValueBytes:      8,
+				MetaBytes:       8,
+				Lanes:           8,
+				Merge:           prap.Config{Q: 3, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: mergeWorkers, Kernel: kernel},
+				HBM:             defaultHBM(),
+				Workers:         workers,
+			}
+			eng, err := core.New(cfg)
+			if err != nil {
+				return nil, mem.Traffic{}, core.RunStats{}, err
+			}
+			y, err := eng.SpMV(skewed, x, nil)
+			if err != nil {
+				return nil, mem.Traffic{}, core.RunStats{}, err
+			}
+			return y, eng.Traffic(), eng.Stats(), nil
+		}
+		yLT, trLT, stLT, err := run(prap.KernelLoserTree)
+		if err != nil {
+			return err
+		}
+		yMP, trMP, stMP, err := run(prap.KernelMergePath)
+		if err != nil {
+			return err
+		}
+		for i := range yLT {
+			if yLT[i] != yMP[i] {
+				return fmt.Errorf("merge-kernels: workers=%d merge-workers=%d: y[%d] differs between kernels", workers, mergeWorkers, i)
+			}
+		}
+		if trLT != trMP {
+			return fmt.Errorf("merge-kernels: workers=%d merge-workers=%d: traffic ledger differs between kernels", workers, mergeWorkers)
+		}
+		if !reflect.DeepEqual(stLT, stMP) {
+			return fmt.Errorf("merge-kernels: workers=%d merge-workers=%d: run stats differ between kernels", workers, mergeWorkers)
+		}
+		fmt.Fprintf(w, "  workers=%d merge-workers=%d: y, ledger, stats identical\n", workers, mergeWorkers)
+	}
+	return nil
+}
+
+// timeKernel measures reps sequential invocations and returns
+// milliseconds per invocation.
+func timeKernel(reps int, fn func()) float64 {
+	fn() // warm the arenas so steady-state reuse is what gets timed
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start).Seconds() * 1e3 / float64(reps)
+}
+
+// recordsBitIdentical reports the first divergence between two record
+// sequences, comparing float values by their bit patterns.
+func recordsBitIdentical(a, b []types.Record) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("outputs differ in length: %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || math.Float64bits(a[i].Val) != math.Float64bits(b[i].Val) {
+			return fmt.Errorf("outputs diverge at record %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}

@@ -151,6 +151,10 @@ func DefaultConfig() Config {
 			// the block counterpart of spmvCompute — the shared inner
 			// path of SpMVBlock/IterateBlock/PageRankBlock.
 			"mwmerge/internal/core": {"Engine.spmvCompute", "Engine.iteratePipelined", "Engine.spmvBlockCompute"},
+			// The Merge-Path kernel's steady-state entry: everything
+			// past its sized() warm-up (arena growth) must stay
+			// allocation-free, DESIGN.md §12.
+			"mwmerge/internal/merge": {"MergePathWorkspace.MergeAccumulateInto"},
 		},
 		AllocFreeWarm: map[string][]string{
 			// Arena-growth and first-use paths (DESIGN.md §9): they
@@ -167,7 +171,7 @@ func DefaultConfig() Config {
 				"mergeScratch.coresFor", "mergeScratch.countersFor",
 				"mergeScratch.planFor",
 			},
-			"mwmerge/internal/merge":  {"Workspace.MergeAccumulateInto"},
+			"mwmerge/internal/merge":  {"Workspace.MergeAccumulateInto", "MergePathWorkspace.sized"},
 			"mwmerge/internal/vector": {"Dense.Clone", "NewDense"},
 		},
 		AllocFreeExemptPackages: []string{

@@ -194,6 +194,7 @@ func TestAnalyzers(t *testing.T) {
 				"allocfree|closure creation",
 				"allocfree|string/[]byte conversion",
 				"allocfree|interface boxing",
+				"allocfree|growing append",
 			},
 		},
 		{

@@ -20,11 +20,35 @@ func (e *engine) Iterate(n int) error {
 		for j := range buf {
 			buf[j] = float64(j)
 		}
+		e.leafMerge(buf[:8], buf[8:])
 		if err := e.consume(buf); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// leafMerge models the Merge-Path branch-free leaf kernel shape: local
+// value arrays, arithmetic select indices, indexed writes into arena
+// views, and copy tails — none of which allocate, so the analyzer must
+// stay silent on this entire path.
+func (e *engine) leafMerge(a, b []float64) {
+	out := e.grow(len(a) + len(b))
+	var pick [2]float64
+	i, j, o := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		t := 0
+		if b[j] < a[i] {
+			t = 1
+		}
+		pick[0], pick[1] = a[i], b[j]
+		out[o] = pick[t]
+		o++
+		i += 1 - t
+		j += t
+	}
+	o += copy(out[o:], a[i:])
+	copy(out[o:], b[j:])
 }
 
 // grow is the blessed warm-up/arena-growth helper: it may allocate, and

@@ -13,6 +13,7 @@ type engine struct {
 func (e *engine) Iterate(n int) {
 	for i := 0; i < n; i++ {
 		e.step()
+		e.leafMerge(e.out)
 	}
 }
 
@@ -27,4 +28,16 @@ func (e *engine) step() {
 	b := []byte("xy")
 	_ = b
 	_ = any(3)
+}
+
+// leafMerge is a merge kernel whose output buffer reuse was deleted: it
+// appends per record in the steady path instead of writing into a
+// pre-sized arena view — the exact regression the Merge-Path kernel
+// root guards against.
+func (e *engine) leafMerge(a []float64) {
+	var out []float64
+	for _, v := range a {
+		out = append(out, v)
+	}
+	e.out = out
 }

@@ -30,9 +30,14 @@ func DefaultCoreConfig(ways int) CoreConfig {
 
 // CoreStats reports the cycle-level behaviour of one merge run.
 type CoreStats struct {
-	Cycles       uint64 // total simulated cycles
-	Emitted      uint64 // records produced at the root
-	OutputStalls uint64 // cycles with an empty root FIFO
+	Cycles  uint64 // total simulated cycles
+	Emitted uint64 // records produced at the root
+	// OutputStalls counts cycles where the root FIFO was empty although
+	// the pipeline had already started producing. Warm-up cycles — the
+	// initial fill before any record could possibly have reached the
+	// root — are not stalls; counting them would inflate
+	// cycles-per-record diagnostics by the pipeline depth on every run.
+	OutputStalls uint64
 	LeafRefills  uint64 // records accepted into leaf FIFOs
 }
 
@@ -144,7 +149,10 @@ func (c *Core) Step(refillBudget int) (rec types.Record, emitted bool, used int)
 		rec = root.pop()
 		emitted = true
 		c.stats.Emitted++
-	} else if !root.done {
+	} else if !root.done && c.stats.Emitted > 0 {
+		// The root pops whenever it is non-empty, so "has emitted"
+		// coincides with "could have emitted": an empty root before the
+		// first emission is warm-up, not a stall.
 		c.stats.OutputStalls++
 	}
 
@@ -165,11 +173,10 @@ func (c *Core) Step(refillBudget int) (rec types.Record, emitted bool, used int)
 				continue
 			}
 			// A cell is ready when it can decide the minimum: every
-			// non-exhausted child must be non-empty.
+			// non-exhausted child must be non-empty. Both-empty cannot
+			// reach past this point: an empty child here is done, and
+			// both-done-and-empty was consumed by the check above.
 			if (a.empty() && !a.done) || (b.empty() && !b.done) {
-				continue
-			}
-			if a.empty() && b.empty() {
 				continue
 			}
 			if best == -1 || dst.len() < bestOcc {
@@ -240,30 +247,32 @@ func (c *Core) drained() bool {
 // Run merges all inputs to completion, invoking emit for every output
 // record in ascending key order, and returns the cycle statistics.
 func (c *Core) Run(emit func(types.Record)) (CoreStats, error) {
-	// Guard against configuration deadlock with a generous cycle bound,
-	// computable only when every source has a known length.
-	var total, limit uint64
-	sized := true
-	for _, s := range c.sources {
-		if s == nil {
+	// Deadlock guard: with no emission and no leaf refill, the only
+	// possible activity is records rippling between internal FIFOs and
+	// done flags propagating — both bounded by the total buffered state,
+	// independent of source type or length. idleLimit cycles without
+	// either form of external progress therefore means the core is
+	// genuinely stuck (a size-derived bound would silently vanish for
+	// sources other than *SliceSource, letting custom sources spin
+	// forever).
+	slots := 0
+	for _, stage := range c.stages {
+		slots += len(stage) * c.cfg.FIFODepth
+	}
+	idleLimit := uint64(slots*(c.Depth()+1) + 2*c.cfg.Ways + 64)
+	var idle uint64
+	for !c.drained() {
+		rec, ok, used := c.Step(-1)
+		if ok && emit != nil {
+			emit(rec)
+		}
+		if ok || used > 0 {
+			idle = 0
 			continue
 		}
-		ss, ok := s.(*SliceSource)
-		if !ok {
-			sized = false
-			break
-		}
-		total += uint64(ss.Remaining())
-	}
-	if sized {
-		limit = (total + 1024) * uint64(c.Depth()+2) * 8
-	}
-	for !c.drained() {
-		if limit > 0 && c.stats.Cycles > limit {
-			return c.stats, fmt.Errorf("merge: core exceeded %d cycles; likely deadlock", limit)
-		}
-		if rec, ok, _ := c.Step(-1); ok && emit != nil {
-			emit(rec)
+		idle++
+		if idle > idleLimit {
+			return c.stats, fmt.Errorf("merge: no emission or leaf refill for %d cycles; core is stuck", idle)
 		}
 	}
 	return c.stats, nil

@@ -1,0 +1,168 @@
+package merge
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"mwmerge/internal/types"
+)
+
+// funcSource is a Source that is deliberately NOT a *SliceSource, so it
+// exercises Run's guard on the path where the old size-derived cycle
+// limit silently vanished.
+type funcSource struct {
+	recs []types.Record
+	pos  int
+}
+
+func (s *funcSource) Next() (types.Record, bool) {
+	if s.pos >= len(s.recs) {
+		return types.Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// TestCoreStatsWarmupNotStalled pins the full cycle statistics for a
+// tiny merge. The two warm-up cycles before the first record can reach
+// the root are NOT output stalls; the old accounting reported
+// OutputStalls = 2 here, inflating cycles-per-record diagnostics by the
+// pipeline depth on every run.
+func TestCoreStatsWarmupNotStalled(t *testing.T) {
+	sources := []Source{
+		NewSliceSource([]types.Record{{Key: 1, Val: 1}}),
+		NewSliceSource([]types.Record{{Key: 2, Val: 1}}),
+	}
+	c, err := NewCore(DefaultCoreConfig(2), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CoreStats{Cycles: 4, Emitted: 2, OutputStalls: 0, LeafRefills: 2}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestCoreStallsBeforeFirstEmissionNotCounted starves the leaves with a
+// zero refill budget: the root stays empty, but with nothing emitted yet
+// these are warm-up cycles, not stalls.
+func TestCoreStallsBeforeFirstEmissionNotCounted(t *testing.T) {
+	sources := []Source{
+		NewSliceSource([]types.Record{{Key: 1}}),
+		NewSliceSource([]types.Record{{Key: 2}}),
+	}
+	c, _ := NewCore(DefaultCoreConfig(2), sources)
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := c.Step(0); ok {
+			t.Fatal("emitted without any refill")
+		}
+	}
+	if st := c.Stats(); st.OutputStalls != 0 {
+		t.Fatalf("warm-up counted as stalls: %+v", st)
+	}
+	if _, err := c.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.OutputStalls != 0 || st.Emitted != 2 {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+// TestCoreStallsAfterEmissionCounted checks that genuine post-warm-up
+// bubbles still register: once the pipeline has emitted, an empty root
+// with input pending is a stall.
+func TestCoreStallsAfterEmissionCounted(t *testing.T) {
+	long := make([]types.Record, 8)
+	for i := range long {
+		long[i] = types.Record{Key: uint64(2 * i)}
+	}
+	sources := []Source{
+		NewSliceSource(long),
+		NewSliceSource([]types.Record{{Key: 1}}),
+	}
+	c, _ := NewCore(CoreConfig{Ways: 2, FIFODepth: 2, RecordBytes: 16, FillPerCycle: 16}, sources)
+	// Fill and emit normally until the first record comes out.
+	for {
+		if _, ok, _ := c.Step(-1); ok {
+			break
+		}
+	}
+	// Now starve the leaves: in-flight records drain out, after which
+	// the empty root (with sources still pending) must count as stalls.
+	for i := 0; i < 50; i++ {
+		c.Step(0)
+	}
+	st := c.Stats()
+	if st.Emitted == 0 || st.Emitted >= 9 {
+		t.Fatalf("unexpected emission count: %+v", st)
+	}
+	if st.OutputStalls == 0 {
+		t.Fatalf("post-emission starvation not counted as stalls: %+v", st)
+	}
+}
+
+// TestCoreRunFuncSourceCompletes proves the progress-based guard does
+// not false-positive: a healthy merge over non-SliceSource inputs runs
+// to completion with the right output.
+func TestCoreRunFuncSourceCompletes(t *testing.T) {
+	lists := [][]types.Record{
+		{{Key: 3, Val: 1}, {Key: 7, Val: 1}, {Key: 9, Val: 1}},
+		{{Key: 1, Val: 1}, {Key: 8, Val: 1}},
+		{{Key: 2, Val: 1}, {Key: 4, Val: 1}, {Key: 5, Val: 1}, {Key: 6, Val: 1}},
+	}
+	sources := make([]Source, len(lists))
+	var want []types.Record
+	for i, l := range lists {
+		sources[i] = &funcSource{recs: l}
+		want = append(want, l...)
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+	c, err := NewCore(DefaultCoreConfig(4), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []types.Record
+	if _, err := c.Run(func(r types.Record) { out = append(out, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(want) {
+		t.Fatalf("emitted %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i].Key != want[i].Key {
+			t.Fatalf("key order differs at %d", i)
+		}
+	}
+}
+
+// TestCoreRunStuckConfigurationErrors wedges a core — the root is
+// marked done while records are still upstream, so nothing can ever be
+// emitted or refilled once the leaf FIFOs fill — and requires Run to
+// return an error instead of spinning. With non-SliceSource inputs the
+// old size-derived guard computed no limit at all, so this exact
+// configuration previously looped forever.
+func TestCoreRunStuckConfigurationErrors(t *testing.T) {
+	long := make([]types.Record, 32)
+	for i := range long {
+		long[i] = types.Record{Key: uint64(i)}
+	}
+	sources := []Source{&funcSource{recs: long}, &funcSource{recs: long}}
+	c, err := NewCore(CoreConfig{Ways: 2, FIFODepth: 2, RecordBytes: 16, FillPerCycle: 4}, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.stages[len(c.stages)-1][0].done = true // wedge: root refuses input forever
+	_, err = c.Run(nil)
+	if err == nil {
+		t.Fatal("stuck core ran to completion")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

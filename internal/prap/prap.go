@@ -31,6 +31,22 @@ import (
 // batch of a list (hardware carries a valid bit per lane).
 const invalidKey = ^uint64(0)
 
+// MergeKernel selects the intra-core K-way merge-accumulate
+// implementation. Both kernels visit records in the identical
+// (key, source index, position) order, so the choice can never change a
+// result — only the wall clock (DESIGN.md §12).
+type MergeKernel string
+
+const (
+	// KernelLoserTree is the default tournament-tree kernel
+	// (merge.Workspace): one comparison path replayed per record.
+	KernelLoserTree MergeKernel = "losertree"
+	// KernelMergePath is the Merge-Path kernel
+	// (merge.MergePathWorkspace): diagonal-search partitioning into
+	// cache-sized, branch-free pairwise leaf merges.
+	KernelMergePath MergeKernel = "mergepath"
+)
+
 // Config parameterizes a PRaP merge network.
 type Config struct {
 	// Q is the radix width; the network instantiates p = 2^Q merge cores.
@@ -51,6 +67,10 @@ type Config struct {
 	// output key is owned by exactly one core, so the result is
 	// bit-identical at any setting — no float reassociation occurs.
 	MergeWorkers int
+	// Kernel selects the intra-core merge-accumulate implementation.
+	// Empty defaults to KernelLoserTree; results are bit-identical
+	// either way.
+	Kernel MergeKernel
 }
 
 // DefaultConfig returns the ASIC step-2 network: 16 MCs (q=4) of 2048
@@ -76,7 +96,21 @@ func (c Config) Validate() error {
 	if c.MergeWorkers < 0 {
 		return fmt.Errorf("prap: merge workers must be non-negative")
 	}
+	switch c.Kernel {
+	case "", KernelLoserTree, KernelMergePath:
+	default:
+		return fmt.Errorf("prap: unknown merge kernel %q", c.Kernel)
+	}
 	return nil
+}
+
+// kernel resolves the configured merge kernel, defaulting to the loser
+// tree.
+func (c Config) kernel() MergeKernel {
+	if c.Kernel == "" {
+		return KernelLoserTree
+	}
+	return c.Kernel
 }
 
 // Cores returns p = 2^Q.
@@ -412,10 +446,19 @@ func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.
 	}
 	injected, emitted := scr.countersFor(p)
 	cores := scr.coresFor(p)
+	kernel := n.cfg.kernel()
 	//lint:allow allocfree per-merge core-drain closure, counted in the DESIGN.md §9 alloc budget
 	forEach(n.cfg.workers(p), p, n.instrumented("merge", "mc", func(_, r int) {
 		cs := &cores[r]
-		cs.merged = cs.ws.MergeAccumulateInto(cs.merged, slots[r])
+		// Kernel dispatch cannot perturb results: both kernels emit the
+		// same (key, source index) sequence, so float accumulation order
+		// is identical (proven bitwise in TestMergeKernelBitIdentity and
+		// FuzzMergeKernels).
+		if kernel == KernelMergePath {
+			cs.merged = cs.mp.MergeAccumulateInto(cs.merged, slots[r])
+		} else {
+			cs.merged = cs.ws.MergeAccumulateInto(cs.merged, slots[r])
+		}
 		done, i := 0, 0
 		for key := uint64(r); key < dim; key += uint64(p) {
 			var val float64

@@ -32,11 +32,13 @@ type mergeScratch struct {
 }
 
 // coreScratch is the per-merge-core slice of the arena: the recycled
-// merge-accumulate output buffer and the loser-tree workspace. Exactly
-// one goroutine drains core r in any run, so cores[r] needs no lock.
+// merge-accumulate output buffer and one workspace per kernel (only the
+// configured kernel's workspace ever grows arenas). Exactly one
+// goroutine drains core r in any run, so cores[r] needs no lock.
 type coreScratch struct {
 	merged []types.Record
 	ws     merge.Workspace
+	mp     merge.MergePathWorkspace
 }
 
 // acquire returns the network's arena when free, or a fresh one when a
