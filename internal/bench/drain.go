@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+
+	"mwmerge/internal/core"
+	"mwmerge/internal/graph"
+	"mwmerge/internal/matrix"
+	"mwmerge/internal/mem"
+	"mwmerge/internal/prap"
+	"mwmerge/internal/vector"
+)
+
+// RunDrain compares the store queue's two drain strategies — the dense
+// residue-class walk and the record-proportional sparse fast path
+// (DESIGN.md §13) — across output fill ratios nnz/dim ∈ {0.1, 1, 8} on
+// ER, Zipf, and RMAT shapes. Bitwise identity of the dense result and
+// equality of the merge statistics are enforced on every row: the drain
+// knob must be invisible in everything except wall-clock time. The
+// hypersparse rows (nnz/dim = 0.1, dimension ≈ 10× the distinct output
+// keys) are the paper's target regime, where the sparse drain's win is
+// largest. A second sweep runs the full engine datapath on a hypersparse
+// instance with a dirty y-in at several Workers × MergeWorkers × Kernel
+// settings and requires the result, the off-chip ledger, and the run
+// stats to be equal across all three drain modes.
+func RunDrain(w io.Writer, opt Options) error {
+	scale := opt.Scale
+	if scale > 1<<17 {
+		scale = 1 << 17
+	}
+	bits := uint(math.Round(math.Log2(float64(scale))))
+
+	type shape struct {
+		name string
+		mk   func(fill float64) (*matrix.COO, error)
+	}
+	shapes := []shape{
+		{"ER", func(f float64) (*matrix.COO, error) { return graph.ErdosRenyi(scale, f, opt.Seed) }},
+		{"Zipf", func(f float64) (*matrix.COO, error) { return graph.Zipf(scale, f, 1.8, opt.Seed) }},
+		{"RMAT", func(f float64) (*matrix.COO, error) { return graph.RMAT(bits, f, graph.Graph500Params(), opt.Seed) }},
+	}
+	fills := []float64{0.1, 1, 8}
+
+	mkNet := func(mode prap.DrainMode) (*prap.Network, error) {
+		return prap.New(prap.Config{Q: 3, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: opt.MergeWorkers, Drain: mode})
+	}
+
+	t := newTable("Workload", "nnz/dim", "Out keys", "Inj ratio", "Reps", "Dense (ms)", "Sparse (ms)", "Speedup", "Identical")
+	for _, sh := range shapes {
+		for _, fill := range fills {
+			m, err := sh.mk(fill)
+			if err != nil {
+				return err
+			}
+			lists, err := stripeLists(m, m.Rows/64+1)
+			if err != nil {
+				return err
+			}
+			dim := m.Rows
+			denseNet, err := mkNet(prap.DrainDense)
+			if err != nil {
+				return err
+			}
+			sparseNet, err := mkNet(prap.DrainSparse)
+			if err != nil {
+				return err
+			}
+			yD := vector.NewDense(int(dim))
+			yS := vector.NewDense(int(dim))
+			// Correctness pass first: a timing loop may not mask a divergence.
+			stD, err := denseNet.MergeInto(lists, dim, nil, yD, 0, nil)
+			if err != nil {
+				return err
+			}
+			stS, err := sparseNet.MergeInto(lists, dim, nil, yS, 0, nil)
+			if err != nil {
+				return err
+			}
+			for i := range yD {
+				if math.Float64bits(yD[i]) != math.Float64bits(yS[i]) {
+					return fmt.Errorf("drain: %s nnz/dim=%g: y[%d] differs between drains", sh.name, fill, i)
+				}
+			}
+			if !reflect.DeepEqual(stD, stS) {
+				return fmt.Errorf("drain: %s nnz/dim=%g: merge stats differ between drains", sh.name, fill)
+			}
+
+			// The dense walk's cost is O(dim) regardless of fill, so the rep
+			// count scales with the dimension.
+			reps := int(4_000_000 / dim)
+			if reps < 3 {
+				reps = 3
+			}
+			if reps > 100 {
+				reps = 100
+			}
+			dMS := timeKernel(reps, func() { _, _ = denseNet.MergeInto(lists, dim, nil, yD, 0, nil) })
+			sMS := timeKernel(reps, func() { _, _ = sparseNet.MergeInto(lists, dim, nil, yS, 0, nil) })
+			outKeys := stD.Emitted - stD.Injected
+			t.add(sh.name,
+				fmt.Sprintf("%g", fill),
+				fmt.Sprintf("%d", outKeys),
+				fmt.Sprintf("%.3f", float64(stD.Injected)/float64(stD.Emitted)),
+				fmt.Sprintf("%d", reps),
+				fmt.Sprintf("%.2f", dMS),
+				fmt.Sprintf("%.2f", sMS),
+				fmt.Sprintf("%.2fx", dMS/sMS),
+				"yes")
+		}
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+
+	// Engine-level identity sweep: hypersparse instance, dirty y-in (no
+	// -0.0, so the sparse path stays eligible), every drain mode against
+	// the dense baseline across parallelism and kernel settings.
+	fmt.Fprintln(w, "\nEngine identity sweep (hypersparse ER nnz/dim=0.1, dense vs sparse vs auto):")
+	hs, err := graph.ErdosRenyi(scale, 0.1, opt.Seed+7)
+	if err != nil {
+		return err
+	}
+	x := randomDense(hs.Cols, opt.Seed+1)
+	yIn := randomDense(hs.Rows, opt.Seed+2)
+	for _, kern := range []prap.MergeKernel{prap.KernelLoserTree, prap.KernelMergePath} {
+		for _, ws := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {2, 0}} {
+			workers, mergeWorkers := ws[0], ws[1]
+			run := func(mode prap.DrainMode) (vector.Dense, mem.Traffic, core.RunStats, error) {
+				cfg := core.Config{
+					ScratchpadBytes: 64 << 10,
+					ValueBytes:      8,
+					MetaBytes:       8,
+					Lanes:           8,
+					Merge:           prap.Config{Q: 3, Ways: 256, FIFODepth: 4, DPage: 1 << 10, RecordBytes: 16, MergeWorkers: mergeWorkers, Kernel: kern, Drain: mode},
+					HBM:             defaultHBM(),
+					Workers:         workers,
+				}
+				eng, err := core.New(cfg)
+				if err != nil {
+					return nil, mem.Traffic{}, core.RunStats{}, err
+				}
+				y, err := eng.SpMV(hs, x, yIn)
+				if err != nil {
+					return nil, mem.Traffic{}, core.RunStats{}, err
+				}
+				return y, eng.Traffic(), eng.Stats(), nil
+			}
+			yRef, trRef, stRef, err := run(prap.DrainDense)
+			if err != nil {
+				return err
+			}
+			for _, mode := range []prap.DrainMode{prap.DrainSparse, prap.DrainAuto} {
+				y, tr, st, err := run(mode)
+				if err != nil {
+					return err
+				}
+				for i := range yRef {
+					if math.Float64bits(yRef[i]) != math.Float64bits(y[i]) {
+						return fmt.Errorf("drain: kernel=%s workers=%d merge-workers=%d: y[%d] differs, %s vs dense", kern, workers, mergeWorkers, i, mode)
+					}
+				}
+				if trRef != tr {
+					return fmt.Errorf("drain: kernel=%s workers=%d merge-workers=%d: traffic ledger differs, %s vs dense", kern, workers, mergeWorkers, mode)
+				}
+				if !reflect.DeepEqual(stRef, st) {
+					return fmt.Errorf("drain: kernel=%s workers=%d merge-workers=%d: run stats differ, %s vs dense", kern, workers, mergeWorkers, mode)
+				}
+			}
+			fmt.Fprintf(w, "  kernel=%-9s workers=%d merge-workers=%d: y, ledger, stats identical across drains\n", kern, workers, mergeWorkers)
+		}
+	}
+	return nil
+}

@@ -104,7 +104,7 @@ func (e *Engine) spmvBlockCompute(a *matrix.COO, xs, yIns, ys []vector.Dense, de
 	e.step1ComputeBlock(plan.stripes, xs, plan.det, bank)
 	n := len(plan.stripes)
 	for c := range xs {
-		e.stats.Stripes += n
+		e.noteStripeSkew(plan.stripes)
 		lists := bank.lists[c*n : (c+1)*n]
 		if err := e.commitOutcomes(bank.outcomes[c*n:(c+1)*n], lists); err != nil {
 			return err

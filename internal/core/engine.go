@@ -44,6 +44,7 @@ type Engine struct {
 	gate         *segmentGate
 	nextCh       chan step1Result
 	frontier     frontierScratch
+	lpt          lptScratch
 }
 
 // RunStats aggregates execution statistics across calls: every field
@@ -63,6 +64,39 @@ type RunStats struct {
 	// TransitionBytesSaved is the inter-iteration y round-trip traffic
 	// that ITS overlap eliminated (Iterate and PageRank).
 	TransitionBytesSaved uint64
+	// Step-1 load-skew counters (DESIGN.md §13): one step-1 run charges
+	// its stripe count into Stripes, its total nonzeros into StripeNNZ,
+	// and its heaviest stripe's nonzeros into StripeNNZMax, with
+	// Step1Runs counting the runs. All three are monotone sums, so they
+	// aggregate across engines (Add) and difference per iteration like
+	// every other counter; StripeImbalance derives the max/mean ratio.
+	Step1Runs    uint64
+	StripeNNZ    uint64
+	StripeNNZMax uint64
+}
+
+// StripeImbalance returns the average ratio between a step-1 run's
+// heaviest stripe and the mean stripe weight (max/mean, ≥ 1 when any
+// nonzeros were processed) — the straggler exposure the LPT dispatch
+// mitigates. Zero when no stripes have been processed.
+func (s RunStats) StripeImbalance() float64 {
+	if s.Step1Runs == 0 || s.Stripes == 0 || s.StripeNNZ == 0 {
+		return 0
+	}
+	meanMax := float64(s.StripeNNZMax) / float64(s.Step1Runs)
+	meanStripe := float64(s.StripeNNZ) / float64(s.Stripes)
+	return meanMax / meanStripe
+}
+
+// InjectedRatio returns the fraction of store-queue output elements that
+// were injected missing keys rather than merged records — the measure
+// of how drain-bound (output-sparse) the resident workload is. Zero
+// when nothing has been emitted.
+func (s RunStats) InjectedRatio() float64 {
+	if s.MergeStats.Emitted == 0 {
+		return 0
+	}
+	return float64(s.MergeStats.Injected) / float64(s.MergeStats.Emitted)
 }
 
 // New builds an engine from cfg.
@@ -127,6 +161,9 @@ func (s RunStats) Counters(tr mem.Traffic) report.Counters {
 		MatUncompressedBytes: s.UncompressedMatBytes,
 		MergeInjected:        s.MergeStats.Injected,
 		MergeEmitted:         s.MergeStats.Emitted,
+		Step1Runs:            s.Step1Runs,
+		StripeNNZ:            s.StripeNNZ,
+		StripeNNZMax:         s.StripeNNZMax,
 	}
 }
 
@@ -150,6 +187,9 @@ func (s RunStats) Add(o RunStats) RunStats {
 	sum.CompressedMatBytes += o.CompressedMatBytes
 	sum.UncompressedMatBytes += o.UncompressedMatBytes
 	sum.TransitionBytesSaved += o.TransitionBytesSaved
+	sum.Step1Runs += o.Step1Runs
+	sum.StripeNNZ += o.StripeNNZ
+	sum.StripeNNZMax += o.StripeNNZMax
 	return sum
 }
 
@@ -351,8 +391,19 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 		// guarantees that whenever the producer is blocked on the
 		// handoff bound, the lowest published-but-unconsumed stripe is
 		// already held by some worker, so the pipeline always advances.
-		for k := range stripes {
-			work <- k
+		// Without a gate every stripe is ready immediately, so the
+		// ungated path is free to dispatch heaviest-first (LPT) and cut
+		// the straggler tail on skewed partitions; e.lpt is safe here
+		// because the ungated run always executes on the goroutine
+		// driving the engine, with at most one in flight.
+		if gate != nil {
+			for k := range stripes {
+				work <- k
+			}
+		} else {
+			for _, k := range e.lpt.plan(stripes) {
+				work <- k
+			}
 		}
 		close(work)
 		wg.Wait()
@@ -368,11 +419,33 @@ func (e *Engine) step1Compute(stripes []*matrix.Stripe, x vector.Dense, det *hdn
 // by its per-stripe slots — both live until the consuming step 2
 // finishes, which the two-bank rotation guarantees).
 func (e *Engine) commitStep1(stripes []*matrix.Stripe, bank *stripeBank) ([][]types.Record, error) {
-	e.stats.Stripes += len(stripes)
+	e.noteStripeSkew(stripes)
 	if err := e.commitOutcomes(bank.outcomes, bank.lists); err != nil {
 		return nil, err
 	}
 	return bank.lists, nil
+}
+
+// noteStripeSkew books one step-1 run's load-skew counters alongside
+// its stripe count: the total and per-run-maximum stripe nonzeros
+// behind RunStats.StripeImbalance. Every path that charges Stripes
+// funnels through here (or calls it beside its charge), so the skew
+// surface covers SpMV, pipelined iteration, block columns, SpMSpV, and
+// the sliced multi-pass path alike. The charge depends only on the
+// stripe partition, never on dispatch order, so LPT scheduling and the
+// gated ascending schedule book identical statistics.
+func (e *Engine) noteStripeSkew(stripes []*matrix.Stripe) {
+	e.stats.Stripes += len(stripes)
+	e.stats.Step1Runs++
+	var max uint64
+	for _, s := range stripes {
+		nnz := uint64(s.NNZ())
+		e.stats.StripeNNZ += nnz
+		if nnz > max {
+			max = nnz
+		}
+	}
+	e.stats.StripeNNZMax += max
 }
 
 // commitOutcomes is the shared fold behind commitStep1 and the block

@@ -32,7 +32,7 @@ func (e *Engine) SpMVSliced(a *matrix.COO, x, yIn vector.Dense) (vector.Dense, i
 	if err != nil {
 		return nil, 0, err
 	}
-	e.stats.Stripes += len(stripes)
+	e.noteStripeSkew(stripes)
 	lists := make([][]types.Record, len(stripes))
 	for k, s := range stripes {
 		out := e.processStripeFresh(s, x, nil)

@@ -25,6 +25,8 @@ package core
 // handed, and is joined before the bank rotates back.
 
 import (
+	"sort"
+
 	"mwmerge/internal/hdn"
 	"mwmerge/internal/matrix"
 	"mwmerge/internal/types"
@@ -206,6 +208,53 @@ func (f *frontierScratch) release(e *Engine) {
 			f.segs[k] = nil
 		}
 	}
+}
+
+// lptScratch recycles the ungated step-1 dispatch order: stripe indices
+// sorted heaviest-nnz-first (longest-processing-time scheduling), so a
+// skewed stripe starts first instead of landing on an already-busy
+// worker at the tail. Ties break toward the lower index, keeping the
+// order deterministic. Confined to the goroutine driving the engine:
+// only the ungated step1Compute path consults it, and at most one
+// ungated step-1 run is ever in flight (the ITS pipeline's concurrent
+// step-1 runs are gated, and the gated path keeps ascending dispatch —
+// see step1Compute).
+type lptScratch struct {
+	order  []int
+	weight []uint64
+}
+
+func (l *lptScratch) Len() int { return len(l.order) }
+func (l *lptScratch) Less(i, j int) bool {
+	a, b := l.order[i], l.order[j]
+	if l.weight[a] != l.weight[b] {
+		return l.weight[a] > l.weight[b]
+	}
+	return a < b
+}
+func (l *lptScratch) Swap(i, j int) { l.order[i], l.order[j] = l.order[j], l.order[i] }
+
+// sized prepares the scratch for n stripes, recycling both slices.
+func (l *lptScratch) sized(n int) {
+	if cap(l.order) < n {
+		l.order = make([]int, n)
+		l.weight = make([]uint64, n)
+	}
+	l.order = l.order[:n]
+	l.weight = l.weight[:n]
+}
+
+// plan returns the stripe indices in LPT dispatch order. Sorting goes
+// through the pointer receiver (no interface boxing), so the steady
+// state stays allocation-free after warmup.
+func (l *lptScratch) plan(stripes []*matrix.Stripe) []int {
+	l.sized(len(stripes))
+	for k, s := range stripes {
+		l.order[k] = k
+		l.weight[k] = uint64(s.NNZ())
+	}
+	sort.Sort(l)
+	return l.order
 }
 
 // pipeGate returns the engine's reusable segment gate, reset to the

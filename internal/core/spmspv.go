@@ -53,7 +53,7 @@ func (e *Engine) SpMSpV(a *matrix.COO, x *vector.Sparse) (vector.Dense, SpMSpVSt
 	stripes := plan.stripes
 	width := e.cfg.SegmentWidth()
 	st.SegmentsTotal = len(stripes)
-	e.stats.Stripes += len(stripes)
+	e.noteStripeSkew(stripes)
 
 	// Scatter x nonzeros into per-segment dense buffers drawn from the
 	// engine's free list (zeroed — free-list contents are unspecified);

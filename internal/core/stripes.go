@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mwmerge/internal/matrix"
-	"mwmerge/internal/types"
 	"mwmerge/internal/vector"
 )
 
@@ -44,21 +43,16 @@ func (e *Engine) SpMVStripes(stripes []*matrix.Stripe, rows, cols uint64, x, yIn
 		return nil, fmt.Errorf("core: stripes cover %d of %d columns", covered, cols)
 	}
 
-	e.stats.Stripes += len(stripes)
-	lists := make([][]types.Record, len(stripes))
-	for k, s := range stripes {
-		out := e.processStripeFresh(s, x, nil)
-		if out.err != nil {
-			return nil, out.err
-		}
-		lists[k] = out.recs
-		e.charge(out.traffic)
-		e.stats.Products += out.st.Products
-		e.stats.IntermediateRecords += uint64(len(out.recs))
-		e.stats.CompressedVecBytes += out.compVec
-		e.stats.UncompressedVecBytes += out.uncompVec
-		e.stats.CompressedMatBytes += out.compMat
-		e.stats.UncompressedMatBytes += out.uncompMat
+	// The layout-streamed path shares the §9 machinery with SpMV: step 1
+	// fans out across cfg.Workers into a recycled stripe bank (with LPT
+	// dispatch and recorder spans), and the commit books the same skew
+	// statistics — only the plan cache is bypassed, because the stripes
+	// arrived prebuilt.
+	bank := e.nextBank()
+	e.step1Compute(stripes, x, nil, nil, bank)
+	lists, err := e.commitStep1(stripes, bank)
+	if err != nil {
+		return nil, err
 	}
 	y, err := e.runStep2(lists, rows, yIn)
 	if err != nil {

@@ -163,6 +163,7 @@ func DefaultConfig() Config {
 				"Engine.planFor", "Engine.getDense", "Engine.putDense",
 				"Engine.pipeGate", "Engine.pipeNext",
 				"stripeBank.sized", "stripeScratch.recsFor", "frontierScratch.sized",
+				"lptScratch.sized",
 			},
 			"mwmerge/internal/prap": {
 				"Network.acquire",

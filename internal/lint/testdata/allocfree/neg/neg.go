@@ -4,13 +4,17 @@
 // an allow annotation with its reason.
 package allocfreeneg
 
-import "errors"
+import (
+	"errors"
+	"sort"
+)
 
 var errEmpty = errors.New("empty")
 
 type engine struct {
 	scratch []float64
 	out     []float64
+	lpt     lptOrder
 }
 
 // Iterate is the steady-state root: it recycles the scratch arena.
@@ -20,7 +24,9 @@ func (e *engine) Iterate(n int) error {
 		for j := range buf {
 			buf[j] = float64(j)
 		}
+		e.dispatchLPT(&e.lpt, buf)
 		e.leafMerge(buf[:8], buf[8:])
+		e.drainSparse(buf[:4])
 		if err := e.consume(buf); err != nil {
 			return err
 		}
@@ -58,6 +64,40 @@ func (e *engine) grow(n int) []float64 {
 		e.scratch = make([]float64, n)
 	}
 	return e.scratch[:n]
+}
+
+// drainSparse models the record-proportional store-queue drain: only
+// the merged records are visited and accumulated into the recycled
+// output arena — an indexed-write loop with no allocation, so the
+// analyzer must stay silent even though the path is new per call.
+func (e *engine) drainSparse(recs []float64) {
+	out := e.grow(len(recs))
+	for i, v := range recs {
+		out[i] += v
+	}
+}
+
+// lptOrder models the skew-aware dispatch scratch: a sort.Interface
+// implemented on the pointer receiver, so the sort.Sort call boxes a
+// pointer (pointer-like, allowed) rather than a slice header.
+type lptOrder struct {
+	order  []int
+	weight []float64
+}
+
+func (l *lptOrder) Len() int           { return len(l.order) }
+func (l *lptOrder) Less(i, j int) bool { return l.weight[l.order[i]] > l.weight[l.order[j]] }
+func (l *lptOrder) Swap(i, j int)      { l.order[i], l.order[j] = l.order[j], l.order[i] }
+
+// dispatchLPT models the nnz-weighted longest-processing-time dispatch:
+// refilling recycled index/weight arrays and sorting them through the
+// pointer receiver allocates nothing on the steady state.
+func (e *engine) dispatchLPT(l *lptOrder, weights []float64) {
+	for k := range l.order {
+		l.order[k] = k
+		l.weight[k] = weights[k%len(weights)]
+	}
+	sort.Sort(l)
 }
 
 // consume allocates only on its failure path and at one annotated site.

@@ -1,0 +1,199 @@
+package prap
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mwmerge/internal/types"
+	"mwmerge/internal/vector"
+)
+
+func TestConfigValidateDrain(t *testing.T) {
+	for _, mode := range []DrainMode{"", DrainAuto, DrainDense, DrainSparse} {
+		cfg := smallConfig(2, 16)
+		cfg.Drain = mode
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("drain %q rejected: %v", mode, err)
+		}
+	}
+	cfg := smallConfig(2, 16)
+	cfg.Drain = "eager"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown drain mode accepted")
+	}
+}
+
+// mergeWithDrain runs one MergeInto under the given drain mode and
+// worker count, returning the output and stats.
+func mergeWithDrain(t *testing.T, mode DrainMode, workers int, lists [][]types.Record, dim uint64, yIn vector.Dense) (vector.Dense, Stats) {
+	t.Helper()
+	cfg := smallConfig(2, 64)
+	cfg.Drain = mode
+	cfg.MergeWorkers = workers
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	out := vector.NewDense(int(dim))
+	st, err := n.MergeInto(lists, dim, yIn, out, 0, nil)
+	if err != nil {
+		t.Fatalf("MergeInto(drain=%s): %v", mode, err)
+	}
+	return out, st
+}
+
+// TestDrainModesBitIdentical pins the drain contract: the mode requests
+// a strategy, never a different result. Output bits and merge stats must
+// be equal across dense, sparse, and auto at every worker count, with
+// and without a y input.
+func TestDrainModesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const dim = 997 // not a multiple of the core count
+	lists := randomLists(rng, 6, dim, 0.05)
+	yIn := vector.NewDense(dim)
+	for i := range yIn {
+		yIn[i] = rng.NormFloat64()
+	}
+	for _, workers := range []int{1, 0, 4} {
+		for _, base := range []vector.Dense{nil, yIn} {
+			want, wantStats := mergeWithDrain(t, DrainDense, workers, lists, dim, base)
+			for _, mode := range []DrainMode{DrainSparse, DrainAuto, ""} {
+				got, st := mergeWithDrain(t, mode, workers, lists, dim, base)
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("workers=%d yIn=%v drain=%q: out[%d] = %x, dense drain has %x",
+							workers, base != nil, mode, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+					}
+				}
+				if !reflect.DeepEqual(st, wantStats) {
+					t.Errorf("workers=%d yIn=%v drain=%q: stats %+v != dense drain's %+v",
+						workers, base != nil, mode, st, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestNegZeroForcesDenseDrain is the -0.0 regression the sparse drain is
+// gated on: a yIn holding -0.0 at a missing key must flip to +0.0 in the
+// output (the dense walk's injected += 0.0 does that), so the sparse
+// path may not run — even when explicitly requested with DrainSparse.
+func TestNegZeroForcesDenseDrain(t *testing.T) {
+	const dim = 40
+	// One record at key 3; keys 0..2 and 4.. are all injected.
+	lists := [][]types.Record{{{Key: 3, Val: 2.5}}}
+	yIn := vector.NewDense(dim)
+	yIn[7] = math.Copysign(0, -1) // -0.0 at a missing key
+	if negZeroSafe(yIn) {
+		t.Fatal("negZeroSafe accepted a vector holding -0.0")
+	}
+	for _, mode := range []DrainMode{DrainDense, DrainSparse, DrainAuto} {
+		out, _ := mergeWithDrain(t, mode, 1, lists, dim, yIn)
+		if math.Signbit(out[7]) {
+			t.Errorf("drain=%s: out[7] = -0.0, want the injected zero-add to flip it to +0.0", mode)
+		}
+		if out[3] != 2.5 {
+			t.Errorf("drain=%s: out[3] = %g, want 2.5", mode, out[3])
+		}
+	}
+	// The same vector without the -0.0 is sparse-eligible.
+	yIn[7] = 0
+	if !negZeroSafe(yIn) {
+		t.Error("negZeroSafe rejected a clean vector")
+	}
+}
+
+// TestDrainAutoHeuristic pins the auto mode's selection rule: sparse
+// only when the routed record count is at most half the dimension (and
+// yIn is bit-safe); DrainSparse skips the profitability check but never
+// the safety check.
+func TestDrainAutoHeuristic(t *testing.T) {
+	cfg := smallConfig(2, 16)
+	cfg.Drain = DrainAuto
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := func(routed, dim uint64, yIn vector.Dense) bool {
+		st := Stats{PerCoreInput: []uint64{routed}}
+		return n.sparseDrainOK(dim, yIn, &st)
+	}
+	if !sparse(50, 100, nil) {
+		t.Error("auto: routed == dim/2 should drain sparse")
+	}
+	if sparse(51, 100, nil) {
+		t.Error("auto: routed > dim/2 should drain dense")
+	}
+	dirty := vector.Dense{math.Copysign(0, -1)}
+	if sparse(1, 100, dirty) {
+		t.Error("auto: -0.0 in yIn must force the dense walk")
+	}
+	n.cfg.Drain = DrainSparse
+	if !sparse(99, 100, nil) {
+		t.Error("sparse: profitability must not gate an explicit request")
+	}
+	if sparse(1, 100, dirty) {
+		t.Error("sparse: -0.0 in yIn must force the dense walk even when requested")
+	}
+}
+
+// TestSparseDrainSegmentStream checks that the sparse drain preserves
+// the ITS segment-publishing contract — exactly once per segment,
+// strictly ascending, only after the segment is final — including the
+// all-injected tail segments that only creditRest can flush.
+func TestSparseDrainSegmentStream(t *testing.T) {
+	const (
+		dim      = 1024
+		segWidth = 128
+	)
+	rng := rand.New(rand.NewSource(9))
+	// Records confined to the low quarter: segments 2..7 hold no merged
+	// records at all, so their publishes must come from the credit flush.
+	sparse := randomLists(rng, 4, dim/4, 0.3)
+	for _, workers := range []int{1, 0, 4} {
+		cfg := smallConfig(2, 64)
+		cfg.MergeWorkers = workers
+		cfg.Drain = DrainSparse
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		want, _, err := n.Merge(sparse, dim, nil)
+		if err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		out := vector.NewDense(dim)
+		var mu sync.Mutex
+		var pubs []int
+		publish := func(seg int) {
+			mu.Lock()
+			defer mu.Unlock()
+			pubs = append(pubs, seg)
+			lo, hi := seg*segWidth, (seg+1)*segWidth
+			if hi > dim {
+				hi = dim
+			}
+			for i := lo; i < hi; i++ {
+				if out[i] != want[i] {
+					t.Errorf("workers=%d: out[%d] not final at publish(%d)", workers, i, seg)
+					return
+				}
+			}
+		}
+		if _, err := n.MergeInto(sparse, dim, nil, out, segWidth, publish); err != nil {
+			t.Fatalf("MergeInto: %v", err)
+		}
+		segs := (dim + segWidth - 1) / segWidth
+		if len(pubs) != segs {
+			t.Fatalf("workers=%d: %d publishes, want %d", workers, len(pubs), segs)
+		}
+		for i, s := range pubs {
+			if s != i {
+				t.Fatalf("workers=%d: publish order %v not ascending", workers, pubs)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ package prap
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
@@ -47,6 +48,28 @@ const (
 	KernelMergePath MergeKernel = "mergepath"
 )
 
+// DrainMode selects how the store queue drains each merge core's
+// residue class into the dense output (DESIGN.md §13). The dense walk
+// visits every key of the class and executes the injected zero-add for
+// missing keys; the sparse drain visits only the merged records. The
+// sparse drain is applied only when it is bit-safe (yIn is nil, or a
+// one-pass scan proves every yIn element is unchanged by adding +0.0 —
+// a -0.0 element would flip to +0.0 under the dense walk), so the mode
+// can never change a result, a ledger, or a statistic.
+type DrainMode string
+
+const (
+	// DrainAuto picks the sparse drain when it is bit-safe and the
+	// routed record count makes it profitable, the dense walk otherwise.
+	DrainAuto DrainMode = "auto"
+	// DrainDense always walks the full residue class (the hardware
+	// store-queue model of §4.2.2).
+	DrainDense DrainMode = "dense"
+	// DrainSparse requests the record-proportional drain; a yIn that is
+	// not bit-safe to skip still falls back to the dense walk.
+	DrainSparse DrainMode = "sparse"
+)
+
 // Config parameterizes a PRaP merge network.
 type Config struct {
 	// Q is the radix width; the network instantiates p = 2^Q merge cores.
@@ -71,6 +94,9 @@ type Config struct {
 	// Empty defaults to KernelLoserTree; results are bit-identical
 	// either way.
 	Kernel MergeKernel
+	// Drain selects the store-queue drain strategy. Empty defaults to
+	// DrainAuto; results are bit-identical at any setting.
+	Drain DrainMode
 }
 
 // DefaultConfig returns the ASIC step-2 network: 16 MCs (q=4) of 2048
@@ -101,6 +127,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("prap: unknown merge kernel %q", c.Kernel)
 	}
+	switch c.Drain {
+	case "", DrainAuto, DrainDense, DrainSparse:
+	default:
+		return fmt.Errorf("prap: unknown drain mode %q", c.Drain)
+	}
 	return nil
 }
 
@@ -111,6 +142,14 @@ func (c Config) kernel() MergeKernel {
 		return KernelLoserTree
 	}
 	return c.Kernel
+}
+
+// drain resolves the configured drain mode, defaulting to auto.
+func (c Config) drain() DrainMode {
+	if c.Drain == "" {
+		return DrainAuto
+	}
+	return c.Drain
 }
 
 // Cores returns p = 2^Q.
@@ -431,14 +470,19 @@ func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.
 	}
 
 	// Each MC merge-accumulates its residue class, then the store queue
-	// walks its dense key sequence {r, r+p, r+2p, ...} directly — the
-	// missing-key injection of Fig. 11 fused with the drain, so injected
-	// records add 0.0 to out[key] without ever being materialized (the
-	// add still executes: skipping it would turn a -0.0 element into
-	// +0.0 and break bit-identity with the reference). No two cores
+	// drains it into out. The dense walk visits the full key sequence
+	// {r, r+p, r+2p, ...} — the missing-key injection of Fig. 11 fused
+	// with the drain, so injected records add 0.0 to out[key] without
+	// ever being materialized (the add still executes: skipping it would
+	// turn a -0.0 element into +0.0 and break bit-identity with the
+	// reference). When skipping those zero-adds is provably bit-safe,
+	// the sparse drain instead touches only the merged records, making
+	// the drain cost proportional to the output nonzeros (DESIGN.md
+	// §13); sparseDrainOK decides per call. Either way no two cores
 	// touch the same output element and each element receives exactly
-	// one float64 add, so running the cores on MergeWorkers goroutines
-	// is bit-identical to the sequential drain.
+	// one effective float64 add, so running the cores on MergeWorkers
+	// goroutines is bit-identical to the sequential drain.
+	sparse := n.sparseDrainOK(dim, yIn, st)
 	if yIn != nil {
 		copy(out, yIn)
 	} else {
@@ -459,20 +503,48 @@ func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.
 		} else {
 			cs.merged = cs.ws.MergeAccumulateInto(cs.merged, slots[r])
 		}
-		done, i := 0, 0
-		for key := uint64(r); key < dim; key += uint64(p) {
-			var val float64
-			if i < len(cs.merged) && cs.merged[i].Key == key {
-				val = cs.merged[i].Val
-				i++
-			} else {
-				injected[r]++
+		// nKeys is the size of core r's residue class below dim — the
+		// dense walk's trip count, and both drains' Emitted charge.
+		nKeys := uint64(0)
+		if dim > uint64(r) {
+			nKeys = (dim - uint64(r) + uint64(p) - 1) / uint64(p)
+		}
+		done := 0
+		if sparse {
+			// Sparse drain: only merged records are visited. Segment
+			// credits move with the record keys (still ascending), and
+			// creditRest flushes the all-injected tail, so publish(s)
+			// keeps its happens-before edge from every write into
+			// segment s and still fires in ascending segment order.
+			matched := uint64(0)
+			for _, rec := range cs.merged {
+				if rec.Key >= dim {
+					break
+				}
+				if plan != nil {
+					plan.credit(&done, rec.Key)
+				}
+				out[rec.Key] += rec.Val
+				matched++
 			}
-			if plan != nil {
-				plan.credit(&done, key)
+			injected[r] = nKeys - matched
+			emitted[r] = nKeys
+		} else {
+			i := 0
+			for key := uint64(r); key < dim; key += uint64(p) {
+				var val float64
+				if i < len(cs.merged) && cs.merged[i].Key == key {
+					val = cs.merged[i].Val
+					i++
+				} else {
+					injected[r]++
+				}
+				if plan != nil {
+					plan.credit(&done, key)
+				}
+				out[key] += val
+				emitted[r]++
 			}
-			out[key] += val
-			emitted[r]++
 		}
 		st.PerCoreOutput[r] = emitted[r]
 		if plan != nil {
@@ -484,6 +556,57 @@ func (n *Network) mergeInto(lists [][]types.Record, dim uint64, yIn, out vector.
 		st.Emitted += emitted[r]
 	}
 	return nil
+}
+
+// sparseDrainOK decides, per merge call, whether the store queue may
+// drain only the merged records instead of walking every key of each
+// residue class. Two conditions gate it (DESIGN.md §13):
+//
+//   - Bit-safety: skipping a missing key skips its injected `+= 0.0`,
+//     which is only invisible when the element it would have landed on
+//     is unchanged by adding +0.0. negZeroSafe proves that for the
+//     whole yIn in one read pass (yIn == nil is trivially safe: the
+//     drain starts from +0.0). A dirty yIn forces the dense walk even
+//     under DrainSparse — the mode requests a strategy, never a
+//     different result.
+//   - Profitability (DrainAuto only): the routed record count must be
+//     at most half the output dimension, so the records the sparse
+//     drain visits are guaranteed fewer than the keys the dense walk
+//     would. DrainSparse skips this check for benchmarking.
+//
+// The decision consumes only the already-collected routing stats, so it
+// costs one scan of yIn at most and never perturbs results, ledgers, or
+// merge statistics.
+func (n *Network) sparseDrainOK(dim uint64, yIn vector.Dense, st *Stats) bool {
+	mode := n.cfg.drain()
+	if mode == DrainDense {
+		return false
+	}
+	if mode == DrainAuto {
+		var routed uint64
+		for _, c := range st.PerCoreInput {
+			routed += c
+		}
+		if 2*routed > dim {
+			return false
+		}
+	}
+	return negZeroSafe(yIn)
+}
+
+// negZeroSafe reports whether every element of y is bitwise unchanged
+// by adding +0.0 — exactly the property the sparse drain needs, since
+// it skips the injected zero-add the dense walk would execute on y's
+// copy. -0.0 fails (-0.0 + 0.0 = +0.0 flips the sign bit); signaling
+// NaN payloads that quiet under arithmetic fail likewise. A nil y is
+// safe: the output starts from +0.0, and +0.0 + 0.0 is bitwise +0.0.
+func negZeroSafe(y vector.Dense) bool {
+	for _, v := range y {
+		if math.Float64bits(v+0) != math.Float64bits(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // segmentPlan is the segment-granular store queue: a per-segment

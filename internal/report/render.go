@@ -55,6 +55,9 @@ type CountersJSON struct {
 	MatUncompressedBytes uint64      `json:"vldi_matrix_uncompressed_bytes"`
 	MergeInjected        uint64      `json:"merge_injected"`
 	MergeEmitted         uint64      `json:"merge_emitted"`
+	Step1Runs            uint64      `json:"step1_runs"`
+	StripeNNZ            uint64      `json:"stripe_nnz"`
+	StripeNNZMax         uint64      `json:"stripe_nnz_max"`
 }
 
 func countersJSON(c Counters) CountersJSON {
@@ -79,6 +82,9 @@ func countersJSON(c Counters) CountersJSON {
 		MatUncompressedBytes: c.MatUncompressedBytes,
 		MergeInjected:        c.MergeInjected,
 		MergeEmitted:         c.MergeEmitted,
+		Step1Runs:            c.Step1Runs,
+		StripeNNZ:            c.StripeNNZ,
+		StripeNNZMax:         c.StripeNNZMax,
 	}
 }
 
@@ -245,6 +251,12 @@ func (rep *Report) WritePrometheus(w io.Writer) error {
 	p.metric("mwmerge_merge_injected_total", "", float64(t.MergeInjected))
 	p.header("mwmerge_merge_emitted_total", "counter", "Dense elements streamed out by the PRaP store queue.")
 	p.metric("mwmerge_merge_emitted_total", "", float64(t.MergeEmitted))
+	p.header("mwmerge_step1_runs_total", "counter", "Step-1 runs (stripe fan-outs) executed.")
+	p.metric("mwmerge_step1_runs_total", "", float64(t.Step1Runs))
+	p.header("mwmerge_step1_stripe_nnz_total", "counter", "Nonzeros processed across all step-1 stripes.")
+	p.metric("mwmerge_step1_stripe_nnz_total", "", float64(t.StripeNNZ))
+	p.header("mwmerge_step1_stripe_nnz_max_total", "counter", "Per-run heaviest-stripe nonzeros, summed over runs (skew signal).")
+	p.metric("mwmerge_step1_stripe_nnz_max_total", "", float64(t.StripeNNZMax))
 	p.header("mwmerge_iterations_total", "counter", "Recorded iteration boundaries.")
 	p.metric("mwmerge_iterations_total", "", float64(len(rep.Iterations)))
 	p.header("mwmerge_wall_seconds", "gauge", "Wall-clock duration covered by the report.")

@@ -42,9 +42,16 @@ type Counters struct {
 	MatCompressedBytes   uint64
 	MatUncompressedBytes uint64
 	// MergeInjected / MergeEmitted count missing-key injections and dense
-	// elements streamed by the PRaP store queue (Fig. 11).
+	// elements streamed by the PRaP store queue (Fig. 11). Their ratio is
+	// the drain-boundedness signal the sparse drain exploits (DESIGN.md
+	// §13).
 	MergeInjected uint64
 	MergeEmitted  uint64
+	// Step-1 load-skew counters (DESIGN.md §13): runs, total stripe
+	// nonzeros, and the per-run sum of heaviest-stripe nonzeros.
+	Step1Runs    uint64
+	StripeNNZ    uint64
+	StripeNNZMax uint64
 }
 
 // Sub returns the component-wise difference c - o, the delta between
@@ -63,6 +70,9 @@ func (c Counters) Sub(o Counters) Counters {
 		MatUncompressedBytes: c.MatUncompressedBytes - o.MatUncompressedBytes,
 		MergeInjected:        c.MergeInjected - o.MergeInjected,
 		MergeEmitted:         c.MergeEmitted - o.MergeEmitted,
+		Step1Runs:            c.Step1Runs - o.Step1Runs,
+		StripeNNZ:            c.StripeNNZ - o.StripeNNZ,
+		StripeNNZMax:         c.StripeNNZMax - o.StripeNNZMax,
 	}
 }
 
@@ -81,6 +91,9 @@ func (c Counters) Add(o Counters) Counters {
 		MatUncompressedBytes: c.MatUncompressedBytes + o.MatUncompressedBytes,
 		MergeInjected:        c.MergeInjected + o.MergeInjected,
 		MergeEmitted:         c.MergeEmitted + o.MergeEmitted,
+		Step1Runs:            c.Step1Runs + o.Step1Runs,
+		StripeNNZ:            c.StripeNNZ + o.StripeNNZ,
+		StripeNNZMax:         c.StripeNNZMax + o.StripeNNZMax,
 	}
 }
 

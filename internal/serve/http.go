@@ -440,6 +440,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.names {
 		fmt.Fprintf(w, "mwmerge_serve_pool_engines{pool=%q} %d\n", name, s.pools[name].Size())
 	}
+	// Drain/skew health per resident matrix (DESIGN.md §13): a high
+	// injected ratio says the pool's output is hypersparse (drain-bound —
+	// the sparse drain's regime); a high stripe imbalance says step 1 is
+	// straggler-bound on a skewed partition.
+	fmt.Fprintf(w, "# HELP mwmerge_serve_pool_injected_ratio Fraction of store-queue output injected as missing keys.\n# TYPE mwmerge_serve_pool_injected_ratio gauge\n")
+	for _, name := range s.names {
+		_, st, _ := s.pools[name].Ledger()
+		fmt.Fprintf(w, "mwmerge_serve_pool_injected_ratio{pool=%q} %g\n", name, st.InjectedRatio())
+	}
+	fmt.Fprintf(w, "# HELP mwmerge_serve_pool_stripe_imbalance Mean heaviest-stripe / mean-stripe nonzero ratio per step-1 run.\n# TYPE mwmerge_serve_pool_stripe_imbalance gauge\n")
+	for _, name := range s.names {
+		_, st, _ := s.pools[name].Ledger()
+		fmt.Fprintf(w, "mwmerge_serve_pool_stripe_imbalance{pool=%q} %g\n", name, st.StripeImbalance())
+	}
 	s.writeBatchMetrics(w)
 }
 
